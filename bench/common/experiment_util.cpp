@@ -1,0 +1,100 @@
+#include "experiment_util.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ftmc/io/table.hpp"
+
+namespace ftmc::bench {
+
+std::vector<Fig3Point> run_fig3(const Fig3Config& config) {
+  std::vector<Fig3Point> points;
+  for (const double f : config.failure_probs) {
+    for (const double u : config.utilizations) {
+      taskgen::GeneratorParams params;
+      params.target_utilization = u;
+      params.failure_prob = f;
+      params.mapping = config.mapping;
+      // Distinct, reproducible stream per data point.
+      taskgen::Rng rng(config.seed ^
+                       (std::hash<double>{}(f) * 31 + std::hash<double>{}(u)));
+
+      int accept_without = 0;
+      int accept_with = 0;
+      for (int i = 0; i < config.sets_per_point; ++i) {
+        const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+
+        core::FtsConfig fts;
+        fts.adaptation.kind = config.kind;
+        fts.adaptation.degradation_factor = config.degradation_factor;
+        fts.adaptation.os_hours = config.os_hours;
+        fts.prefer_no_adaptation = true;
+        const core::FtsResult r = core::ft_schedule(ts, fts);
+        if (r.feasible_without_adaptation) ++accept_without;
+        if (r.success) ++accept_with;
+      }
+      Fig3Point p;
+      p.failure_prob = f;
+      p.utilization = u;
+      p.ratio_without =
+          static_cast<double>(accept_without) / config.sets_per_point;
+      p.ratio_with =
+          static_cast<double>(accept_with) / config.sets_per_point;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+void print_fig3(const Fig3Config& config,
+                const std::vector<Fig3Point>& points) {
+  std::cout << "=== " << config.title << " ===\n";
+  std::cout << "mapping HI=" << to_string(config.mapping.hi)
+            << " LO=" << to_string(config.mapping.lo)
+            << ", mechanism="
+            << (config.kind == mcs::AdaptationKind::kKilling
+                    ? "task killing"
+                    : "service degradation")
+            << ", O_S=" << config.os_hours << "h, "
+            << config.sets_per_point << " task sets per point\n\n";
+
+  for (const double f : config.failure_probs) {
+    io::Table table({"U", "accept(no adaptation)", "accept(FT-EDF-VD)",
+                     "gap"});
+    for (const Fig3Point& p : points) {
+      if (p.failure_prob != f) continue;
+      table.add_row({io::Table::num(p.utilization, 3),
+                     io::Table::num(p.ratio_without, 3),
+                     io::Table::num(p.ratio_with, 3),
+                     io::Table::num(p.ratio_with - p.ratio_without, 3)});
+    }
+    std::cout << "f = " << io::Table::sci(f, 0) << "\n" << table << "\n";
+  }
+
+  std::cout << "CSV: f,U,accept_without,accept_with\n";
+  for (const Fig3Point& p : points) {
+    std::cout << p.failure_prob << "," << p.utilization << ","
+              << p.ratio_without << "," << p.ratio_with << "\n";
+  }
+  std::cout << std::endl;
+}
+
+Fig3Config apply_cli_overrides(Fig3Config config, int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--sets") {
+      config.sets_per_point = std::atoi(argv[i + 1]);
+    } else if (flag == "--seed") {
+      config.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  // Environment override used by CI smoke runs.
+  if (const char* env = std::getenv("FTMC_BENCH_SETS")) {
+    config.sets_per_point = std::atoi(env);
+  }
+  if (config.sets_per_point <= 0) config.sets_per_point = 1;
+  return config;
+}
+
+}  // namespace ftmc::bench

@@ -1,0 +1,60 @@
+/// \file experiment_util.hpp
+/// \brief Shared helpers for the reproduction benches: the Fig. 3
+///        acceptance-ratio experiment driver and small printing utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::bench {
+
+/// Configuration of one Fig. 3 subfigure (Sec. 5.2 / Appendix C.0.5).
+struct Fig3Config {
+  std::string title;
+  mcs::AdaptationKind kind = mcs::AdaptationKind::kKilling;
+  DualCriticalityMapping mapping{Dal::B, Dal::D};
+  double degradation_factor = 6.0;
+  /// Universal per-job failure probabilities to sweep (legend of Fig. 3).
+  std::vector<double> failure_probs{1e-3, 1e-5};
+  /// System utilizations on the x-axis. Note this is the *base* (single-
+  /// execution) utilization; re-execution inflates the effective load by
+  /// roughly n_HI/n_LO, so acceptance declines well before U = 1.
+  std::vector<double> utilizations{0.10, 0.15, 0.20, 0.25, 0.30, 0.35,
+                                   0.40, 0.45, 0.50, 0.55, 0.60, 0.65,
+                                   0.70, 0.75, 0.80, 0.85, 0.90, 0.95,
+                                   1.00};
+  int sets_per_point = 500;  ///< paper: "500 at each data point"
+  double os_hours = 1.0;
+  std::uint64_t seed = 20140601;  // DAC 2014
+};
+
+/// One data point: acceptance ratios with and without the adaptation
+/// mechanism (the shaded "schedulability gap" of Fig. 3).
+struct Fig3Point {
+  double failure_prob = 0.0;
+  double utilization = 0.0;
+  double ratio_without = 0.0;  ///< plain worst-case EDF, no mode switch
+  double ratio_with = 0.0;     ///< FT-EDF-VD (killing or degradation)
+};
+
+/// Runs the experiment. For each random task set, the baseline accepts if
+/// the minimal re-execution profiles exist and worst-case EDF fits without
+/// any adaptation; the adaptive variant additionally tries FT-EDF-VD
+/// ("task killing or service degradation is only adopted if the system is
+/// not feasible otherwise", Appendix C).
+[[nodiscard]] std::vector<Fig3Point> run_fig3(const Fig3Config& config);
+
+/// Prints the experiment as aligned text plus a CSV block for plotting.
+void print_fig3(const Fig3Config& config,
+                const std::vector<Fig3Point>& points);
+
+/// Parses "--sets N" and "--seed S" style overrides from argv (used to
+/// shrink bench runtime in smoke runs); returns the updated config.
+[[nodiscard]] Fig3Config apply_cli_overrides(Fig3Config config, int argc,
+                                             char** argv);
+
+}  // namespace ftmc::bench

@@ -1,0 +1,102 @@
+/// Extension experiment (not in the paper): partitioned multiprocessor
+/// FT-MC. Acceptance ratio vs system utilization for m = 1, 2, 4 cores
+/// under FT-EDF-VD with task killing (LO in {D, E}), plus one end-to-end
+/// simulated deployment validating that the per-core analysis verdicts
+/// hold at runtime.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ftmc/core/partitioned.hpp"
+#include "ftmc/io/table.hpp"
+#include "ftmc/sim/partitioned_sim.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  int sets = 200;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);
+  }
+  if (const char* env = std::getenv("FTMC_BENCH_SETS")) sets = std::atoi(env);
+  if (sets <= 0) sets = 1;
+
+  std::cout << "=== Extension — partitioned multiprocessor FT-MC ===\n";
+  std::cout << "task killing, HI=B, LO=D, f=1e-5, " << sets
+            << " sets per point\n\n";
+
+  io::Table table({"U", "1 core", "2 cores", "4 cores"});
+  for (const double u : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    std::vector<std::string> row = {io::Table::num(u, 3)};
+    for (const int cores : {1, 2, 4}) {
+      taskgen::GeneratorParams params;
+      params.target_utilization = u;
+      params.failure_prob = 1e-5;
+      params.mapping = {Dal::B, Dal::D};
+      taskgen::Rng rng(31337);
+      int accepted = 0;
+      for (int i = 0; i < sets; ++i) {
+        const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+        core::PartitionedConfig cfg;
+        cfg.cores = cores;
+        cfg.fts.adaptation.kind = mcs::AdaptationKind::kKilling;
+        cfg.fts.adaptation.os_hours = 1.0;
+        if (core::ft_schedule_partitioned(ts, cfg).success) ++accepted;
+      }
+      row.push_back(io::Table::num(static_cast<double>(accepted) / sets, 3));
+    }
+    table.add_row(row);
+  }
+  std::cout << table << "\n";
+
+  // One simulated deployment: a U = 1.4 set on 2 cores, inflated faults.
+  taskgen::GeneratorParams params;
+  params.target_utilization = 1.4;
+  params.failure_prob = 1e-5;
+  params.mapping = {Dal::B, Dal::D};
+  taskgen::Rng rng(8);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    core::PartitionedConfig cfg;
+    cfg.cores = 2;
+    cfg.fts.adaptation.kind = mcs::AdaptationKind::kKilling;
+    cfg.fts.adaptation.os_hours = 1.0;
+    const auto plan = core::ft_schedule_partitioned(ts, cfg);
+    if (!plan.success) continue;
+
+    sim::SimConfig sim_cfg;
+    sim_cfg.policy = sim::PolicyKind::kEdfVd;
+    sim_cfg.adaptation = mcs::AdaptationKind::kKilling;
+    sim_cfg.horizon = sim::kTicksPerHour / 4;
+    // Each task triggers with the adaptation profile its own core chose.
+    core::PerTaskProfile n_adapt(ts.size(), plan.n_hi);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (plan.assignment[i] >= 0) {
+        n_adapt[i] = plan.per_core[static_cast<std::size_t>(
+                                       plan.assignment[i])]
+                         .n_adapt;
+      }
+    }
+    const auto stats = sim::simulate_partitioned(
+        sim::build_sim_tasks(ts, core::uniform_profile(ts, plan.n_hi,
+                                                       plan.n_lo),
+                             n_adapt, 1.0),
+        plan.assignment, cfg.cores, sim_cfg);
+    std::uint64_t misses = 0;
+    for (const auto& core_stats : stats.per_core) {
+      for (const auto& t : core_stats.per_task) {
+        misses += t.deadline_misses;
+      }
+    }
+    std::cout << "simulated one accepted U=1.4 deployment on 2 cores "
+                 "(15 min): deadline misses = "
+              << misses << " (expected 0), mode switches = "
+              << stats.total_mode_switches << "\n";
+    break;
+  }
+  std::cout << "\nReading: partitioning scales the schedulable region "
+               "roughly linearly in the core count (bin-packing losses "
+               "show at the knees); the safety side is unchanged — PFH "
+               "requirements are global and core-independent.\n";
+  return 0;
+}

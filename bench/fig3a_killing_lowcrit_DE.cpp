@@ -1,0 +1,16 @@
+/// Reproduces paper Fig. 3a: acceptance ratio vs system utilization with
+/// and without TASK KILLING when the LO tasks are criticality D/E (not
+/// safety-related). Expected shape: killing widens the schedulable region
+/// considerably; smaller f shifts curves right.
+#include "common/experiment_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  bench::Fig3Config config;
+  config.title = "Fig. 3a — task killing, HI=B, LO in {D,E}";
+  config.kind = mcs::AdaptationKind::kKilling;
+  config.mapping = {Dal::B, Dal::D};
+  config = bench::apply_cli_overrides(config, argc, argv);
+  bench::print_fig3(config, bench::run_fig3(config));
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// Reproduces paper Fig. 3b: acceptance ratio vs system utilization with
+/// and without TASK KILLING when the LO tasks are criticality C (explicit
+/// safety requirement pfh < 1e-5). Expected shape: killing rarely helps —
+/// the gap between the curves nearly vanishes, because killing directly
+/// violates the LO safety requirement.
+#include "common/experiment_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  bench::Fig3Config config;
+  config.title = "Fig. 3b — task killing, HI=B, LO=C";
+  config.kind = mcs::AdaptationKind::kKilling;
+  config.mapping = {Dal::B, Dal::C};
+  config = bench::apply_cli_overrides(config, argc, argv);
+  bench::print_fig3(config, bench::run_fig3(config));
+  return 0;
+}

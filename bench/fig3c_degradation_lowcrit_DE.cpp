@@ -1,0 +1,16 @@
+/// Reproduces paper Fig. 3c: acceptance ratio vs system utilization with
+/// and without SERVICE DEGRADATION (d_f = 6) when the LO tasks are
+/// criticality D/E. Expected shape: degradation improves schedulability
+/// similarly to killing in this safety-irrelevant setting.
+#include "common/experiment_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  bench::Fig3Config config;
+  config.title = "Fig. 3c — service degradation, HI=B, LO in {D,E}";
+  config.kind = mcs::AdaptationKind::kDegradation;
+  config.mapping = {Dal::B, Dal::D};
+  config = bench::apply_cli_overrides(config, argc, argv);
+  bench::print_fig3(config, bench::run_fig3(config));
+  return 0;
+}

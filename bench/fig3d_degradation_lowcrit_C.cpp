@@ -1,0 +1,17 @@
+/// Reproduces paper Fig. 3d: acceptance ratio vs system utilization with
+/// and without SERVICE DEGRADATION (d_f = 6) when the LO tasks are
+/// criticality C. Expected shape: unlike killing (Fig. 3b), degradation
+/// still helps — it barely harms LO safety (Lemma 3.4), so the safety gate
+/// of FT-S passes where killing's does not.
+#include "common/experiment_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftmc;
+  bench::Fig3Config config;
+  config.title = "Fig. 3d — service degradation, HI=B, LO=C";
+  config.kind = mcs::AdaptationKind::kDegradation;
+  config.mapping = {Dal::B, Dal::C};
+  config = bench::apply_cli_overrides(config, argc, argv);
+  bench::print_fig3(config, bench::run_fig3(config));
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// Google-benchmark microbenchmarks of the analysis layer, including the
+/// ablation called out in DESIGN.md: log-domain probability arithmetic vs
+/// naive doubles (the naive path silently loses the entire result for
+/// realistic f, which is why the library pays for expm1/log1p).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "ftmc/core/analysis.hpp"
+#include "ftmc/core/conversion.hpp"
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/fms/fms.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+core::FtTaskSet fms() { return fms::canonical_fms_instance(); }
+
+void BM_PfhPlain(benchmark::State& state) {
+  const auto ts = fms();
+  const auto n = core::uniform_profile(ts, 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pfh_plain(ts, n, CritLevel::HI));
+  }
+}
+BENCHMARK(BM_PfhPlain);
+
+void BM_SurvivalBound(benchmark::State& state) {
+  const auto ts = fms();
+  const auto n_adapt = core::uniform_profile(ts, 2, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::survival_no_trigger(ts, n_adapt, hours_to_millis(10.0)));
+  }
+}
+BENCHMARK(BM_SurvivalBound);
+
+/// Eq. (5) over O_S hours: the dominant analysis cost (sum over ~36k/h
+/// round-completion points per LO task).
+void BM_PfhKilling(benchmark::State& state) {
+  const auto ts = fms();
+  const auto n = core::uniform_profile(ts, 3, 2);
+  const auto n_adapt = core::uniform_profile(ts, 2, 0);
+  core::KillingBoundOptions opt;
+  opt.os_hours = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pfh_lo_killing(ts, n, n_adapt, opt));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PfhKilling)->Arg(1)->Arg(5)->Arg(10)->Complexity();
+
+void BM_PfhDegradation(benchmark::State& state) {
+  const auto ts = fms();
+  const auto n = core::uniform_profile(ts, 3, 2);
+  const auto n_adapt = core::uniform_profile(ts, 2, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pfh_lo_degradation(ts, n, n_adapt, 10.0));
+  }
+}
+BENCHMARK(BM_PfhDegradation);
+
+void BM_EdfVdTest(benchmark::State& state) {
+  const auto mc = core::convert_to_mc(fms(), 3, 2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcs::analyze_edf_vd(mc));
+  }
+}
+BENCHMARK(BM_EdfVdTest);
+
+void BM_FtScheduleEndToEnd(benchmark::State& state) {
+  const auto ts = fms();
+  core::FtsConfig cfg;
+  cfg.adaptation.kind = mcs::AdaptationKind::kDegradation;
+  cfg.adaptation.degradation_factor = fms::kFmsDegradationFactor;
+  cfg.adaptation.os_hours = fms::kFmsOperationHours;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ft_schedule(ts, cfg));
+  }
+}
+BENCHMARK(BM_FtScheduleEndToEnd);
+
+// --- Ablation: log-domain vs naive complement-of-survival -----------------
+
+/// Naive 1 - (1-p)^r in plain doubles.
+double naive_complement(double p, double r) {
+  return 1.0 - std::pow(1.0 - p, r);
+}
+
+void BM_Ablation_LogDomainComplement(benchmark::State& state) {
+  double p = 1e-10, r = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prob::complement_from_log(prob::log_survival(p, r)));
+  }
+}
+BENCHMARK(BM_Ablation_LogDomainComplement);
+
+void BM_Ablation_NaiveComplement(benchmark::State& state) {
+  double p = 1e-10, r = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_complement(p, r));
+  }
+}
+BENCHMARK(BM_Ablation_NaiveComplement);
+
+/// Correctness side of the ablation, printed once: at f^n' = 1e-10 and
+/// r = 1e6 rounds the naive path returns ~9.999e-5 with only a few correct
+/// digits left, and at f^n' = 1e-17 it returns exactly 0 — i.e. "perfectly
+/// safe" — while the true trigger probability is 1e-11.
+void BM_Ablation_AccuracyReport(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prob::complement_from_log(prob::log_survival(1e-17, 1e6)));
+  }
+  state.counters["naive_at_1e-17"] = naive_complement(1e-17, 1e6);
+  state.counters["logdomain_at_1e-17"] =
+      prob::complement_from_log(prob::log_survival(1e-17, 1e6));
+}
+BENCHMARK(BM_Ablation_AccuracyReport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

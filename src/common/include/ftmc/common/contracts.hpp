@@ -1,0 +1,46 @@
+/// \file contracts.hpp
+/// \brief Precondition / invariant checking used across the FTMC library.
+///
+/// Following the C++ Core Guidelines (I.6, E.12) we check preconditions at
+/// API boundaries and throw a dedicated exception type so that callers can
+/// distinguish contract violations (programming errors / invalid models)
+/// from environmental failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftmc {
+
+/// Thrown when a precondition of a public FTMC API is violated
+/// (e.g. a task with a non-positive period, a killing profile that is not
+/// smaller than the re-execution profile, ...).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+/// Throws ContractViolation with a formatted location message.
+[[noreturn]] void contract_failed(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+/// Check a precondition; throws ftmc::ContractViolation on failure.
+///
+/// Unlike assert(), this is active in all build types: the analysis results
+/// of this library feed safety arguments, so silently accepting a malformed
+/// model in release builds is not acceptable.
+#define FTMC_EXPECTS(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ftmc::detail::contract_failed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                        \
+  } while (false)
+
+/// Check an internal invariant (same mechanics as FTMC_EXPECTS, named
+/// differently to document intent at the call site).
+#define FTMC_ENSURES(cond, msg) FTMC_EXPECTS(cond, msg)
+
+}  // namespace ftmc

@@ -1,0 +1,15 @@
+#include "ftmc/common/contracts.hpp"
+
+#include <sstream>
+
+namespace ftmc::detail {
+
+void contract_failed(const char* expr, const char* file, int line,
+                     const std::string& message) {
+  std::ostringstream os;
+  os << "FTMC contract violation: " << message << " [" << expr << "] at "
+     << file << ":" << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ftmc::detail

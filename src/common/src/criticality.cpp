@@ -1,0 +1,57 @@
+#include "ftmc/common/criticality.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <string>
+
+namespace ftmc {
+
+std::string_view to_string(Dal dal) {
+  switch (dal) {
+    case Dal::A: return "A";
+    case Dal::B: return "B";
+    case Dal::C: return "C";
+    case Dal::D: return "D";
+    case Dal::E: return "E";
+  }
+  return "?";
+}
+
+std::string_view to_string(CritLevel level) {
+  return level == CritLevel::HI ? "HI" : "LO";
+}
+
+namespace {
+std::string upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+std::optional<Dal> parse_dal(std::string_view text) {
+  const std::string u = upper(text);
+  if (u == "A") return Dal::A;
+  if (u == "B") return Dal::B;
+  if (u == "C") return Dal::C;
+  if (u == "D") return Dal::D;
+  if (u == "E") return Dal::E;
+  return std::nullopt;
+}
+
+std::optional<CritLevel> parse_crit_level(std::string_view text) {
+  const std::string u = upper(text);
+  if (u == "HI" || u == "HIGH") return CritLevel::HI;
+  if (u == "LO" || u == "LOW") return CritLevel::LO;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, Dal dal) {
+  return os << to_string(dal);
+}
+
+std::ostream& operator<<(std::ostream& os, CritLevel level) {
+  return os << to_string(level);
+}
+
+}  // namespace ftmc

@@ -1,0 +1,31 @@
+/// \file conversion.hpp
+/// \brief Problem conversion, Lemma 4.1: fault-tolerant task set ->
+///        conventional mixed-criticality task set Gamma(n, n').
+///
+/// The key insight of the paper (Sec. 4): re-execution counts induce a list
+/// of WCETs. "Kill/degrade LO tasks when a HI job starts its (n'+1)-th
+/// execution" is conservatively expressible as "kill/degrade when a HI job
+/// exceeds n' * C of execution", which is precisely a Vestal-style mode
+/// switch with C(LO) = n'*C and C(HI) = n*C.
+#pragma once
+
+#include "ftmc/core/ft_task.hpp"
+#include "ftmc/mcs/task.hpp"
+
+namespace ftmc::core {
+
+/// Builds the converted mixed-criticality task set:
+///  - HI task tau_i: C_i(HI) = n_i * C_i, C_i(LO) = n'_i * C_i;
+///  - LO task tau_i: C_i(HI) = C_i(LO) = n_i * C_i.
+/// Preconditions: n_i >= 1 for all tasks; 0 <= n'_i < n_i for HI tasks.
+/// Task order, names, periods and deadlines are preserved.
+[[nodiscard]] mcs::McTaskSet convert_to_mc(const FtTaskSet& ts,
+                                           const PerTaskProfile& n,
+                                           const PerTaskProfile& n_adapt);
+
+/// Convenience overload for uniform per-level profiles — the Gamma(n_HI,
+/// n_LO, n'_HI) of Sec. 4.2 / Algorithm 1.
+[[nodiscard]] mcs::McTaskSet convert_to_mc(const FtTaskSet& ts, int n_hi,
+                                           int n_lo, int n_adapt_hi);
+
+}  // namespace ftmc::core

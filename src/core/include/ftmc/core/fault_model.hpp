@@ -1,0 +1,37 @@
+/// \file fault_model.hpp
+/// \brief Bridge from physical fault rates to per-job probabilities.
+///
+/// The paper takes the per-execution failure probability f_i as given
+/// (Sec. 2.1, "caused by transient hardware errors"). In practice one
+/// starts from a hardware soft-error rate: transient faults arriving as a
+/// Poisson process with rate lambda faults/hour. An execution attempt of
+/// length C is then hit by at least one fault with probability
+///   f = 1 - exp(-lambda * C),
+/// which also underlies the checkpointing module's length-proportional
+/// segment model. These helpers convert in both directions and derive
+/// per-task probabilities for a whole set, so experiments can be
+/// parameterized by hardware quality instead of a uniform f.
+#pragma once
+
+#include "ftmc/core/ft_task.hpp"
+
+namespace ftmc::core {
+
+/// f = 1 - exp(-lambda * C): probability that at least one transient
+/// fault hits an attempt of length `exec_ms`, with `faults_per_hour` the
+/// Poisson rate. Stable for tiny rates (expm1-based).
+[[nodiscard]] double attempt_failure_prob(double faults_per_hour,
+                                          Millis exec_ms);
+
+/// Inverse: the Poisson rate that yields failure probability `f` for an
+/// attempt of length `exec_ms`.
+[[nodiscard]] double faults_per_hour_from_prob(double f, Millis exec_ms);
+
+/// Returns a copy of the task set whose failure probabilities are derived
+/// from a single hardware fault rate: longer tasks fail more often, as
+/// physics dictates (the paper's uniform-f experiments are the special
+/// case of equal WCETs).
+[[nodiscard]] FtTaskSet derive_failure_probs(FtTaskSet ts,
+                                             double faults_per_hour);
+
+}  // namespace ftmc::core

@@ -1,0 +1,101 @@
+/// \file ft_task.hpp
+/// \brief Fault-tolerant sporadic task model (paper Sec. 2.1).
+///
+/// Unlike the Vestal model, a task here has a *single* WCET C_i plus a
+/// per-job failure probability f_i (transient hardware faults detected by a
+/// sanity check; a failed execution is re-executed). Per-level WCETs only
+/// appear after the problem conversion of Lemma 4.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/common/criticality.hpp"
+#include "ftmc/common/time.hpp"
+
+namespace ftmc::core {
+
+/// A sporadic task with fault characteristics.
+struct FtTask {
+  std::string name;
+  Millis period = 0.0;    ///< T_i: minimal inter-arrival time.
+  Millis deadline = 0.0;  ///< D_i: relative deadline (arbitrary).
+  Millis wcet = 0.0;      ///< C_i: WCET of one execution attempt.
+  Dal dal = Dal::E;       ///< DO-178B design assurance level.
+  /// f_i: probability that one execution attempt of a job does not finish
+  /// properly (transient hardware fault caught by the sanity check).
+  double failure_prob = 0.0;
+
+  [[nodiscard]] double utilization() const noexcept { return wcet / period; }
+  [[nodiscard]] bool implicit_deadline() const noexcept {
+    return deadline == period;
+  }
+
+  /// Throws ftmc::ContractViolation if any invariant is broken.
+  void validate() const;
+};
+
+/// A dual-criticality fault-tolerant task set: the tasks plus the mapping of
+/// their two DALs onto the scheduling roles HI/LO.
+class FtTaskSet {
+ public:
+  FtTaskSet() = default;
+  FtTaskSet(std::vector<FtTask> tasks, DualCriticalityMapping mapping);
+
+  void add(FtTask task);
+
+  [[nodiscard]] const std::vector<FtTask>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const FtTask& operator[](std::size_t i) const {
+    return tasks_[i];
+  }
+
+  [[nodiscard]] const DualCriticalityMapping& mapping() const noexcept {
+    return mapping_;
+  }
+  void set_mapping(DualCriticalityMapping mapping);
+
+  /// Scheduling role of a task under the current mapping.
+  [[nodiscard]] CritLevel crit_of(const FtTask& task) const;
+  [[nodiscard]] CritLevel crit_of(std::size_t index) const {
+    return crit_of(tasks_[index]);
+  }
+
+  /// Indices of all tasks at the given scheduling role.
+  [[nodiscard]] std::vector<std::size_t> indices_at(CritLevel level) const;
+
+  [[nodiscard]] std::size_t count(CritLevel level) const;
+
+  /// Base utilization sum of C_i/T_i of the tasks at `level` (one execution
+  /// each; re-execution scaling is applied by the analyses).
+  [[nodiscard]] double utilization(CritLevel level) const;
+
+  /// Total base utilization U = sum C_i/T_i (the x-axis of Fig. 3).
+  [[nodiscard]] double total_utilization() const;
+
+  [[nodiscard]] bool all_implicit_deadlines() const;
+
+  /// Validates all tasks and checks every DAL is one of the mapping's two.
+  void validate() const;
+
+ private:
+  std::vector<FtTask> tasks_;
+  DualCriticalityMapping mapping_{};
+};
+
+/// Per-task integer profile (re-execution counts n_i, or adaptation counts
+/// n'_i), aligned with FtTaskSet indices. Entries for tasks a profile does
+/// not apply to (e.g. adaptation entries of LO tasks) are ignored.
+using PerTaskProfile = std::vector<int>;
+
+/// Builds a per-task profile with one value per criticality level — the
+/// restriction Sec. 4.2 introduces ("all tasks of the same criticality have
+/// the same re-execution profile").
+[[nodiscard]] PerTaskProfile uniform_profile(const FtTaskSet& ts, int n_hi,
+                                             int n_lo);
+
+}  // namespace ftmc::core

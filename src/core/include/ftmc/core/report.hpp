@@ -1,0 +1,34 @@
+/// \file report.hpp
+/// \brief Human-readable certification-style report for one FT-S run.
+///
+/// Assembles, in one text artifact, everything a reviewer needs to check
+/// the safety argument the paper's framework produces: the task set, the
+/// safety requirements in force, the chosen re-execution and adaptation
+/// profiles with the achieved PFH bounds against their targets, the
+/// converted mixed-criticality task set, and the schedulability verdict
+/// with its key intermediate quantities.
+#pragma once
+
+#include <string>
+
+#include "ftmc/core/ft_scheduler.hpp"
+
+namespace ftmc::core {
+
+/// Knobs for report generation.
+struct ReportOptions {
+  /// Include the n'-sweep table (the Fig. 1/2 style data) on success and
+  /// failure alike.
+  bool include_adaptation_sweep = true;
+  /// Include the converted task set table.
+  bool include_converted_set = true;
+};
+
+/// Runs FT-S with `config` and renders the outcome as a report. The
+/// function is deterministic and side-effect free; the same inputs yield
+/// byte-identical text (useful for golden-file regression checks).
+[[nodiscard]] std::string certification_report(
+    const FtTaskSet& ts, const FtsConfig& config,
+    const ReportOptions& options = {});
+
+}  // namespace ftmc::core

@@ -1,0 +1,62 @@
+/// \file safety.hpp
+/// \brief Safety-standard requirement tables (paper Table 1).
+///
+/// A SafetyRequirements object maps a DO-178B design assurance level to the
+/// probability-of-failure-per-hour (PFH) bound that every task certified at
+/// that level must satisfy. The paper uses DO-178B; an IEC 61508 profile
+/// (SIL 1..4 mapped onto A..D) is provided as well since the paper cites
+/// both standards as sources of the PFH metric.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "ftmc/common/criticality.hpp"
+
+namespace ftmc::core {
+
+/// PFH requirements per DAL. A level with no entry (nullopt) carries no
+/// quantified safety requirement (DO-178B levels D and E: "essentially not
+/// safety-related", Sec. 2.1).
+class SafetyRequirements {
+ public:
+  /// DO-178B, Table 1 of the paper:
+  ///   A: PFH < 1e-9,  B: < 1e-7,  C: < 1e-5,  D: >= 1e-5 (no constraint),
+  ///   E: no requirement.
+  static SafetyRequirements do178b();
+
+  /// IEC 61508 high-demand/continuous mode, mapped onto the five letters:
+  ///   A ~ SIL4: < 1e-8, B ~ SIL3: < 1e-7, C ~ SIL2: < 1e-6,
+  ///   D ~ SIL1: < 1e-5, E: no requirement.
+  static SafetyRequirements iec61508();
+
+  /// The PFH bound for a level, or nullopt if the level is unconstrained.
+  [[nodiscard]] std::optional<double> requirement(Dal dal) const;
+
+  /// True iff `pfh` meets the level's requirement (strictly below the
+  /// bound, matching the strict inequalities of Table 1). Unconstrained
+  /// levels accept any value.
+  [[nodiscard]] bool satisfied(Dal dal, double pfh) const;
+
+  /// True iff the level carries a quantified requirement.
+  [[nodiscard]] bool constrains(Dal dal) const {
+    return requirement(dal).has_value();
+  }
+
+  [[nodiscard]] const std::string& standard_name() const noexcept {
+    return name_;
+  }
+
+  /// Builds a custom table (for what-if studies); entries follow kAllDals
+  /// order A..E, nullopt meaning unconstrained.
+  static SafetyRequirements custom(
+      std::string name, std::array<std::optional<double>, 5> bounds);
+
+ private:
+  SafetyRequirements() = default;
+  std::string name_;
+  std::array<std::optional<double>, 5> bounds_{};
+};
+
+}  // namespace ftmc::core

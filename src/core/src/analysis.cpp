@@ -1,0 +1,201 @@
+#include "ftmc/core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::core {
+namespace {
+
+/// Shared round-counting core for Eqs. (1) and (6): the shortest window
+/// accommodating k rounds is (k-1)*period + n*C (Lemma 3.1 proof), so
+/// r = max(floor((t - n*C)/period) + 1, 0).
+double rounds_impl(Millis period, Millis wcet, int n, Millis t,
+                   ExecAssumption exec) {
+  FTMC_EXPECTS(n >= 0, "re-execution profile must be non-negative");
+  const Millis busy =
+      (exec == ExecAssumption::kFullWcet) ? static_cast<Millis>(n) * wcet
+                                          : 0.0;
+  const double r = std::floor((t - busy) / period) + 1.0;
+  return std::max(r, 0.0);
+}
+
+}  // namespace
+
+double rounds(const FtTask& task, int n, Millis t, ExecAssumption exec) {
+  task.validate();
+  return rounds_impl(task.period, task.wcet, n, t, exec);
+}
+
+double pfh_plain(const FtTaskSet& ts, const PerTaskProfile& n,
+                 CritLevel level, ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(n.size() == ts.size(), "profile size must match task set");
+  const Millis t = kMillisPerHour;  // PFH is time-invariant (Lemma 3.1)
+  double pfh = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != level) continue;
+    FTMC_EXPECTS(n[i] >= 1,
+                 "a task that participates in the PFH bound must execute at "
+                 "least once per round");
+    const double r = rounds_impl(ts[i].period, ts[i].wcet, n[i], t, exec);
+    pfh += r * prob::pow_prob(ts[i].failure_prob, n[i]);
+  }
+  return pfh;
+}
+
+prob::LogProb survival_no_trigger(const FtTaskSet& ts,
+                                  const PerTaskProfile& n_adapt, Millis t,
+                                  ExecAssumption exec) {
+  FTMC_EXPECTS(n_adapt.size() == ts.size(),
+               "profile size must match task set");
+  double log_r = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != CritLevel::HI) continue;
+    FTMC_EXPECTS(n_adapt[i] >= 0, "adaptation profile must be non-negative");
+    const double r = rounds_impl(ts[i].period, ts[i].wcet, n_adapt[i], t, exec);
+    if (r <= 0.0) continue;  // no round fits: this task cannot trigger
+    const double p_trigger = prob::pow_prob(ts[i].failure_prob, n_adapt[i]);
+    if (p_trigger >= 1.0) return prob::LogProb::zero();  // n' == 0: certain
+    log_r += prob::log_survival(p_trigger, r);
+  }
+  return prob::LogProb::from_log(log_r);
+}
+
+std::vector<Millis> pi_points(const FtTask& task, int n, Millis t,
+                              ExecAssumption exec) {
+  task.validate();
+  FTMC_EXPECTS(n >= 1, "re-execution profile must be at least 1");
+  const double r = rounds_impl(task.period, task.wcet, n, t, exec);
+  const Millis busy =
+      (exec == ExecAssumption::kFullWcet) ? static_cast<Millis>(n) * task.wcet
+                                          : 0.0;
+  std::vector<Millis> points;
+  points.reserve(static_cast<std::size_t>(std::max(r, 1.0)));
+  for (double m = 1.0; m < r; m += 1.0) {
+    points.push_back(t - busy - m * task.period + task.deadline);
+  }
+  std::reverse(points.begin(), points.end());  // ascending in alpha
+  points.push_back(t);
+  return points;
+}
+
+double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
+                      const PerTaskProfile& n_adapt,
+                      const KillingBoundOptions& opt) {
+  ts.validate();
+  FTMC_EXPECTS(n.size() == ts.size() && n_adapt.size() == ts.size(),
+               "profile sizes must match task set");
+  FTMC_EXPECTS(opt.os_hours > 0.0, "operation duration must be positive");
+  const Millis t = hours_to_millis(opt.os_hours);
+
+  // Pre-extract the HI-task quantities needed to evaluate log R(alpha):
+  // log R(alpha) = sum_j r_j(n'_j, alpha) * log(1 - f_j^{n'_j}).
+  struct HiTerm {
+    Millis period;
+    Millis busy;       // n'_j * C_j (or 0 under the footnote assumption)
+    double log_per_round;  // log(1 - f^{n'}); -inf when n' == 0 and f > 0
+  };
+  std::vector<HiTerm> hi_terms;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (ts.crit_of(j) != CritLevel::HI) continue;
+    // The paper's algorithm keeps n' < n, but the Fig. 1/2 sweeps evaluate
+    // the bound beyond that (where the trigger can no longer fire in
+    // reality and the bound is simply more pessimistic), so only n' >= 0
+    // is required here.
+    FTMC_EXPECTS(n_adapt[j] >= 0, "killing profile must be non-negative");
+    const double p_trigger = prob::pow_prob(ts[j].failure_prob, n_adapt[j]);
+    const double lpr =
+        (p_trigger >= 1.0) ? -std::numeric_limits<double>::infinity()
+                           : std::log1p(-p_trigger);
+    const Millis busy = (opt.exec == ExecAssumption::kFullWcet)
+                            ? static_cast<Millis>(n_adapt[j]) * ts[j].wcet
+                            : 0.0;
+    hi_terms.push_back({ts[j].period, busy, lpr});
+  }
+
+  const auto log_survival_at = [&hi_terms](Millis alpha) {
+    double log_r = 0.0;
+    for (const HiTerm& h : hi_terms) {
+      const double r =
+          std::max(std::floor((alpha - h.busy) / h.period) + 1.0, 0.0);
+      if (r <= 0.0) continue;
+      log_r += r * h.log_per_round;  // -inf propagates correctly (r > 0)
+    }
+    return log_r;
+  };
+
+  double failures = 0.0;  // expected failure count over [0, t]
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != CritLevel::LO) continue;
+    FTMC_EXPECTS(n[i] >= 1, "LO re-execution profile must be at least 1");
+    const double p_round = prob::pow_prob(ts[i].failure_prob, n[i]);
+    const double log_ok = std::log1p(-p_round);  // log(1 - f^{n})
+    for (const Millis alpha : pi_points(ts[i], n[i], t, opt.exec)) {
+      // 1 - R(alpha)*(1 - f^n), fully in the log domain: for alpha <= 0 the
+      // round completed before any possible kill, leaving just f^n.
+      const double log_r = (alpha <= 0.0) ? 0.0 : log_survival_at(alpha);
+      const double term = -std::expm1(log_r + log_ok);
+      failures += std::clamp(term, 0.0, 1.0);
+      if (opt.early_exit_above > 0.0 &&
+          failures / opt.os_hours > opt.early_exit_above) {
+        return failures / opt.os_hours;
+      }
+    }
+  }
+  return failures / opt.os_hours;
+}
+
+double omega(const FtTaskSet& ts, const PerTaskProfile& n, double df,
+             Millis t, ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(n.size() == ts.size(), "profile size must match task set");
+  FTMC_EXPECTS(df >= 1.0, "omega requires d_f >= 1");
+  if (t <= 0.0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != CritLevel::LO) continue;
+    FTMC_EXPECTS(n[i] >= 1, "LO re-execution profile must be at least 1");
+    const double r =
+        rounds_impl(df * ts[i].period, ts[i].wcet, n[i], t, exec);
+    total += r * prob::pow_prob(ts[i].failure_prob, n[i]);
+  }
+  return total;
+}
+
+double pfh_lo_degradation(const FtTaskSet& ts, const PerTaskProfile& n,
+                          const PerTaskProfile& n_adapt, double os_hours,
+                          ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(os_hours > 0.0, "operation duration must be positive");
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (ts.crit_of(j) == CritLevel::HI) {
+      FTMC_EXPECTS(n_adapt[j] >= 0,
+                   "degradation profile must be non-negative");
+    }
+  }
+  const Millis t = hours_to_millis(os_hours);
+  const double trigger_prob =
+      survival_no_trigger(ts, n_adapt, t, exec).complement().linear();
+  return trigger_prob * omega(ts, n, 1.0, t, exec) / os_hours;
+}
+
+double pfh_lo_degradation_at(const FtTaskSet& ts, const PerTaskProfile& n,
+                             const PerTaskProfile& n_adapt, double df,
+                             double os_hours, Millis t0,
+                             ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(df > 1.0, "degradation factor must exceed 1");
+  FTMC_EXPECTS(os_hours > 0.0, "operation duration must be positive");
+  const Millis t = hours_to_millis(os_hours);
+  FTMC_EXPECTS(t0 >= 0.0 && t0 <= t, "trigger time must lie within [0, t]");
+  const double trigger_prob =
+      survival_no_trigger(ts, n_adapt, t0, exec).complement().linear();
+  const double rate = omega(ts, n, 1.0, t0, exec) +
+                      omega(ts, n, df, t - t0, exec);
+  return trigger_prob * rate / os_hours;
+}
+
+}  // namespace ftmc::core

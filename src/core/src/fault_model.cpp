@@ -1,0 +1,30 @@
+#include "ftmc/core/fault_model.hpp"
+
+#include <cmath>
+
+namespace ftmc::core {
+
+double attempt_failure_prob(double faults_per_hour, Millis exec_ms) {
+  FTMC_EXPECTS(faults_per_hour >= 0.0, "fault rate must be non-negative");
+  FTMC_EXPECTS(exec_ms > 0.0, "execution length must be positive");
+  const double lambda_per_ms = faults_per_hour / kMillisPerHour;
+  return -std::expm1(-lambda_per_ms * exec_ms);
+}
+
+double faults_per_hour_from_prob(double f, Millis exec_ms) {
+  FTMC_EXPECTS(f >= 0.0 && f < 1.0, "probability must lie in [0, 1)");
+  FTMC_EXPECTS(exec_ms > 0.0, "execution length must be positive");
+  // lambda * C = -log(1 - f).
+  return -std::log1p(-f) / exec_ms * kMillisPerHour;
+}
+
+FtTaskSet derive_failure_probs(FtTaskSet ts, double faults_per_hour) {
+  FTMC_EXPECTS(faults_per_hour >= 0.0, "fault rate must be non-negative");
+  std::vector<FtTask> tasks = ts.tasks();
+  for (FtTask& t : tasks) {
+    t.failure_prob = attempt_failure_prob(faults_per_hour, t.wcet);
+  }
+  return FtTaskSet(std::move(tasks), ts.mapping());
+}
+
+}  // namespace ftmc::core

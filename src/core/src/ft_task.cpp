@@ -1,0 +1,92 @@
+#include "ftmc/core/ft_task.hpp"
+
+#include <utility>
+
+namespace ftmc::core {
+
+void FtTask::validate() const {
+  FTMC_EXPECTS(period > 0.0, "task '" + name + "': period must be positive");
+  FTMC_EXPECTS(deadline > 0.0,
+               "task '" + name + "': deadline must be positive");
+  FTMC_EXPECTS(wcet > 0.0, "task '" + name + "': WCET must be positive");
+  FTMC_EXPECTS(failure_prob >= 0.0 && failure_prob <= 1.0,
+               "task '" + name + "': failure probability must be in [0,1]");
+  FTMC_EXPECTS(failure_prob < 1.0,
+               "task '" + name +
+                   "': a task that always fails cannot be made safe");
+}
+
+FtTaskSet::FtTaskSet(std::vector<FtTask> tasks, DualCriticalityMapping mapping)
+    : tasks_(std::move(tasks)), mapping_(mapping) {
+  FTMC_EXPECTS(mapping_.valid(),
+               "dual-criticality mapping: HI must be more critical than LO");
+}
+
+void FtTaskSet::add(FtTask task) { tasks_.push_back(std::move(task)); }
+
+void FtTaskSet::set_mapping(DualCriticalityMapping mapping) {
+  FTMC_EXPECTS(mapping.valid(),
+               "dual-criticality mapping: HI must be more critical than LO");
+  mapping_ = mapping;
+}
+
+CritLevel FtTaskSet::crit_of(const FtTask& task) const {
+  if (task.dal == mapping_.hi) return CritLevel::HI;
+  FTMC_EXPECTS(task.dal == mapping_.lo,
+               "task '" + task.name +
+                   "': DAL is neither the HI nor the LO level of the mapping");
+  return CritLevel::LO;
+}
+
+std::vector<std::size_t> FtTaskSet::indices_at(CritLevel level) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (crit_of(i) == level) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t FtTaskSet::count(CritLevel level) const {
+  return indices_at(level).size();
+}
+
+double FtTaskSet::utilization(CritLevel level) const {
+  double u = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (crit_of(i) == level) u += tasks_[i].utilization();
+  }
+  return u;
+}
+
+double FtTaskSet::total_utilization() const {
+  double u = 0.0;
+  for (const FtTask& t : tasks_) u += t.utilization();
+  return u;
+}
+
+bool FtTaskSet::all_implicit_deadlines() const {
+  for (const FtTask& t : tasks_) {
+    if (!t.implicit_deadline()) return false;
+  }
+  return true;
+}
+
+void FtTaskSet::validate() const {
+  FTMC_EXPECTS(mapping_.valid(),
+               "dual-criticality mapping: HI must be more critical than LO");
+  for (const FtTask& t : tasks_) {
+    t.validate();
+    (void)crit_of(t);  // checks the DAL belongs to the mapping
+  }
+}
+
+PerTaskProfile uniform_profile(const FtTaskSet& ts, int n_hi, int n_lo) {
+  FTMC_EXPECTS(n_hi >= 0 && n_lo >= 0, "profiles must be non-negative");
+  PerTaskProfile profile(ts.size(), 0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    profile[i] = (ts.crit_of(i) == CritLevel::HI) ? n_hi : n_lo;
+  }
+  return profile;
+}
+
+}  // namespace ftmc::core

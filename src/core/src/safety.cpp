@@ -1,0 +1,48 @@
+#include "ftmc/core/safety.hpp"
+
+#include <utility>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::core {
+
+SafetyRequirements SafetyRequirements::do178b() {
+  SafetyRequirements r;
+  r.name_ = "DO-178B";
+  r.bounds_ = {std::optional<double>{1e-9}, std::optional<double>{1e-7},
+               std::optional<double>{1e-5}, std::nullopt, std::nullopt};
+  return r;
+}
+
+SafetyRequirements SafetyRequirements::iec61508() {
+  SafetyRequirements r;
+  r.name_ = "IEC-61508";
+  r.bounds_ = {std::optional<double>{1e-8}, std::optional<double>{1e-7},
+               std::optional<double>{1e-6}, std::optional<double>{1e-5},
+               std::nullopt};
+  return r;
+}
+
+SafetyRequirements SafetyRequirements::custom(
+    std::string name, std::array<std::optional<double>, 5> bounds) {
+  for (const auto& b : bounds) {
+    FTMC_EXPECTS(!b.has_value() || (*b > 0.0 && *b <= 1.0),
+                 "custom PFH bounds must lie in (0, 1]");
+  }
+  SafetyRequirements r;
+  r.name_ = std::move(name);
+  r.bounds_ = bounds;
+  return r;
+}
+
+std::optional<double> SafetyRequirements::requirement(Dal dal) const {
+  return bounds_[static_cast<std::size_t>(dal)];
+}
+
+bool SafetyRequirements::satisfied(Dal dal, double pfh) const {
+  FTMC_EXPECTS(pfh >= 0.0, "PFH must be non-negative");
+  const auto bound = requirement(dal);
+  return !bound.has_value() || pfh < *bound;
+}
+
+}  // namespace ftmc::core

@@ -1,0 +1,52 @@
+/// \file fms.hpp
+/// \brief Flight management system case study (paper Sec. 5.1, Table 4).
+///
+/// The FMS subset consists of 11 implicit-deadline sporadic tasks: seven
+/// DO-178B level B localization tasks and four level C flightplan tasks.
+/// The industrial WCETs were "not available yet" to the authors, who drew a
+/// random instance conforming to Table 4's ranges (C in (0, 20] ms for B
+/// tasks, (0, 200] ms for C tasks); we do the same, plus one fixed
+/// "canonical" instance used by the Fig. 1/2 reproduction benches.
+#pragma once
+
+#include <array>
+#include <random>
+
+#include "ftmc/core/ft_task.hpp"
+
+namespace ftmc::fms {
+
+/// One row of Table 4: period (= deadline) and the WCET range upper bound.
+struct FmsTaskSpec {
+  const char* name;
+  Millis period;
+  Millis wcet_max;  ///< C drawn from (0, wcet_max]
+  Dal dal;
+};
+
+/// The 11-task template of Table 4 (periods in ms).
+[[nodiscard]] const std::array<FmsTaskSpec, 11>& fms_template();
+
+/// Experiment constants of Appendix C.0.4.
+inline constexpr double kFmsFailureProb = 1e-5;  ///< per-instance f
+inline constexpr double kFmsOperationHours = 10.0;  ///< O_S
+inline constexpr double kFmsDegradationFactor = 6.0;  ///< d_f
+
+/// Draws a random instance conforming to Table 4 (WCETs uniform in
+/// (0, C_max]); failure probability f for every task as given.
+[[nodiscard]] core::FtTaskSet random_fms_instance(std::mt19937_64& rng,
+                                                  double failure_prob =
+                                                      kFmsFailureProb);
+
+/// The fixed instance used by the reproduction benches ("we pick up one
+/// randomly generated FMS instance", Appendix C). Chosen so that the
+/// qualitative landscape of Fig. 1/2 is reproduced:
+///  - minimal re-execution profiles come out as n_HI = 3, n_LO = 2;
+///  - U_MC crosses 1 between n'_HI = 2 and 3 for both killing and
+///    degradation;
+///  - killing leaves the level C tasks unsafe across the schedulable
+///    region, degradation keeps them safe.
+[[nodiscard]] core::FtTaskSet canonical_fms_instance(
+    double failure_prob = kFmsFailureProb);
+
+}  // namespace ftmc::fms

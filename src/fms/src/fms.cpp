@@ -1,0 +1,79 @@
+#include "ftmc/fms/fms.hpp"
+
+namespace ftmc::fms {
+
+const std::array<FmsTaskSpec, 11>& fms_template() {
+  // Table 4 of the paper; tau1..tau7 are level B localization tasks,
+  // tau8..tau11 level C flightplan tasks. Periods/deadlines in ms.
+  static const std::array<FmsTaskSpec, 11> kTemplate = {{
+      {"tau1", 5000.0, 20.0, Dal::B},
+      {"tau2", 200.0, 20.0, Dal::B},
+      {"tau3", 1000.0, 20.0, Dal::B},
+      {"tau4", 1600.0, 20.0, Dal::B},
+      {"tau5", 100.0, 20.0, Dal::B},
+      {"tau6", 1000.0, 20.0, Dal::B},
+      {"tau7", 1000.0, 20.0, Dal::B},
+      {"tau8", 1000.0, 200.0, Dal::C},
+      {"tau9", 1000.0, 200.0, Dal::C},
+      {"tau10", 1000.0, 200.0, Dal::C},
+      {"tau11", 1000.0, 200.0, Dal::C},
+  }};
+  return kTemplate;
+}
+
+namespace {
+
+core::FtTaskSet build_from_wcets(const std::array<Millis, 11>& wcets,
+                                 double failure_prob) {
+  core::FtTaskSet ts({}, DualCriticalityMapping{Dal::B, Dal::C});
+  const auto& tmpl = fms_template();
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    core::FtTask task;
+    task.name = tmpl[i].name;
+    task.period = tmpl[i].period;
+    task.deadline = tmpl[i].period;
+    task.wcet = wcets[i];
+    task.dal = tmpl[i].dal;
+    task.failure_prob = failure_prob;
+    ts.add(std::move(task));
+  }
+  ts.validate();
+  return ts;
+}
+
+}  // namespace
+
+core::FtTaskSet random_fms_instance(std::mt19937_64& rng,
+                                    double failure_prob) {
+  std::array<Millis, 11> wcets{};
+  const auto& tmpl = fms_template();
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    // C uniform in (0, C_max]: draw in [0,1) and mirror to (0,1].
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    wcets[i] = (1.0 - dist(rng)) * tmpl[i].wcet_max;
+  }
+  return build_from_wcets(wcets, failure_prob);
+}
+
+core::FtTaskSet canonical_fms_instance(double failure_prob) {
+  // One concrete draw conforming to Table 4, fixed for reproducibility.
+  // Base utilizations: U_HI = 0.091, U_LO = 0.365, which places the
+  // U_MC(n') curves of both Fig. 1 and Fig. 2 so that they cross 1 between
+  // n'_HI = 2 and 3 (see fms.hpp).
+  static const std::array<Millis, 11> kWcets = {
+      16.0,   // tau1 / 5000 ms  -> u = 0.0032
+      4.0,    // tau2 / 200 ms   -> u = 0.0200
+      6.0,    // tau3 / 1000 ms  -> u = 0.0060
+      4.8,    // tau4 / 1600 ms  -> u = 0.0030
+      5.0,    // tau5 / 100 ms   -> u = 0.0500
+      5.0,    // tau6 / 1000 ms  -> u = 0.0050
+      3.8,    // tau7 / 1000 ms  -> u = 0.0038
+      90.0,   // tau8 / 1000 ms  -> u = 0.0900
+      95.0,   // tau9 / 1000 ms  -> u = 0.0950
+      85.0,   // tau10 / 1000 ms -> u = 0.0850
+      95.0,   // tau11 / 1000 ms -> u = 0.0950
+  };
+  return build_from_wcets(kWcets, failure_prob);
+}
+
+}  // namespace ftmc::fms

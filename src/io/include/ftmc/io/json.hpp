@@ -1,0 +1,61 @@
+/// \file json.hpp
+/// \brief Minimal JSON emission for analysis results.
+///
+/// FTMC results feed dashboards, plotting scripts and certification
+/// tooling; this module renders the main result types as JSON without
+/// pulling in a JSON library. Output only — the text task-set format
+/// (taskset_io.hpp) remains the input path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftmc/core/ft_scheduler.hpp"
+
+namespace ftmc::io::json {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Renders a double as a JSON number; infinities map to the strings
+/// "inf"/"-inf" (JSON has no literal for them) and NaN to null.
+[[nodiscard]] std::string number(double value);
+
+/// Tiny order-preserving object builder. Values passed to add_raw must
+/// already be valid JSON.
+class Object {
+ public:
+  Object& add_string(std::string_view key, std::string_view value);
+  Object& add_number(std::string_view key, double value);
+  Object& add_int(std::string_view key, long long value);
+  Object& add_bool(std::string_view key, bool value);
+  Object& add_raw(std::string_view key, std::string_view json);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Joins already-rendered JSON values into an array.
+[[nodiscard]] std::string array(const std::vector<std::string>& values);
+
+}  // namespace ftmc::io::json
+
+namespace ftmc::io {
+
+/// The fault-tolerant task set, mapping included.
+[[nodiscard]] std::string task_set_to_json(const core::FtTaskSet& ts);
+
+/// A converted mixed-criticality task set.
+[[nodiscard]] std::string mc_task_set_to_json(const mcs::McTaskSet& ts);
+
+/// One FT-S outcome (profiles, PFH bounds, verdict, converted set).
+[[nodiscard]] std::string fts_result_to_json(const core::FtsResult& result);
+
+/// The Fig. 1/2 adaptation sweep as an array of points.
+[[nodiscard]] std::string sweep_to_json(
+    const std::vector<core::AdaptationSweepPoint>& points);
+
+}  // namespace ftmc::io

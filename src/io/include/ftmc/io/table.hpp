@@ -1,0 +1,39 @@
+/// \file table.hpp
+/// \brief Small aligned-text table formatter used by the reproduction
+///        benches and examples to print the paper's tables and figure data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmc::io {
+
+/// Column-aligned text table. Usage:
+///   Table t({"n'", "U_MC", "pfh(LO)"});
+///   t.add_row({"0", "0.73", "1.4e4"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers for cells.
+  static std::string num(double value, int precision = 4);
+  static std::string sci(double value, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as CSV (no quoting — callers must not embed commas).
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ftmc::io

@@ -1,0 +1,36 @@
+/// \file taskset_io.hpp
+/// \brief Plain-text serialization of fault-tolerant task sets.
+///
+/// Format (one declaration per line, '#' starts a comment):
+///
+///   mapping HI=B LO=C
+///   task tau1 T=60 D=60 C=5 dal=B f=1e-5
+///   task tau3 T=40 D=40 C=7 dal=C f=1e-5
+///
+/// Units are milliseconds. Unknown keys are rejected, missing keys use the
+/// documented defaults (D defaults to T; f defaults to 0).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ftmc/core/ft_task.hpp"
+
+namespace ftmc::io {
+
+/// Thrown on malformed task-set text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Parses the text format described above.
+[[nodiscard]] core::FtTaskSet parse_task_set(std::istream& in);
+[[nodiscard]] core::FtTaskSet parse_task_set_string(const std::string& text);
+
+/// Serializes a task set in the same format (round-trips with the parser).
+void write_task_set(std::ostream& out, const core::FtTaskSet& ts);
+[[nodiscard]] std::string task_set_to_string(const core::FtTaskSet& ts);
+
+}  // namespace ftmc::io

@@ -1,0 +1,171 @@
+#include "ftmc/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ftmc::io::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+Object& Object::add_string(std::string_view key, std::string_view value) {
+  std::string quoted;
+  quoted += '"';
+  quoted += escape(value);
+  quoted += '"';
+  fields_.emplace_back(std::string(key), std::move(quoted));
+  return *this;
+}
+
+Object& Object::add_number(std::string_view key, double value) {
+  fields_.emplace_back(std::string(key), number(value));
+  return *this;
+}
+
+Object& Object::add_int(std::string_view key, long long value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+Object& Object::add_bool(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+Object& Object::add_raw(std::string_view key, std::string_view json) {
+  fields_.emplace_back(std::string(key), std::string(json));
+  return *this;
+}
+
+std::string Object::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += '"';
+    out += escape(fields_[i].first);
+    out += "\":";
+    out += fields_[i].second;
+    if (i + 1 < fields_.size()) out += ",";
+  }
+  out += "}";
+  return out;
+}
+
+std::string array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += values[i];
+    if (i + 1 < values.size()) out += ",";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ftmc::io::json
+
+namespace ftmc::io {
+
+std::string task_set_to_json(const core::FtTaskSet& ts) {
+  std::vector<std::string> tasks;
+  tasks.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const core::FtTask& t = ts[i];
+    tasks.push_back(json::Object{}
+                        .add_string("name", t.name)
+                        .add_number("period_ms", t.period)
+                        .add_number("deadline_ms", t.deadline)
+                        .add_number("wcet_ms", t.wcet)
+                        .add_string("dal", to_string(t.dal))
+                        .add_string("crit", to_string(ts.crit_of(i)))
+                        .add_number("failure_prob", t.failure_prob)
+                        .str());
+  }
+  return json::Object{}
+      .add_string("hi_dal", to_string(ts.mapping().hi))
+      .add_string("lo_dal", to_string(ts.mapping().lo))
+      .add_raw("tasks", json::array(tasks))
+      .str();
+}
+
+std::string mc_task_set_to_json(const mcs::McTaskSet& ts) {
+  std::vector<std::string> tasks;
+  tasks.reserve(ts.size());
+  for (const mcs::McTask& t : ts.tasks()) {
+    tasks.push_back(json::Object{}
+                        .add_string("name", t.name)
+                        .add_number("period_ms", t.period)
+                        .add_number("deadline_ms", t.deadline)
+                        .add_number("wcet_hi_ms", t.wcet_hi)
+                        .add_number("wcet_lo_ms", t.wcet_lo)
+                        .add_string("crit", to_string(t.crit))
+                        .str());
+  }
+  return json::array(tasks);
+}
+
+std::string fts_result_to_json(const core::FtsResult& result) {
+  json::Object out;
+  out.add_bool("success", result.success)
+      .add_string("failure", core::to_string(result.failure))
+      .add_int("n_hi", result.n_hi)
+      .add_int("n_lo", result.n_lo)
+      .add_int("n_adapt", result.n_adapt)
+      .add_number("pfh_hi", result.pfh_hi)
+      .add_number("pfh_lo", result.pfh_lo)
+      .add_number("u_mc", result.u_mc)
+      .add_bool("feasible_without_adaptation",
+                result.feasible_without_adaptation)
+      .add_string("scheduler", result.scheduler_name);
+  if (result.n1_hi) out.add_int("n1_hi", *result.n1_hi);
+  if (result.n2_hi) out.add_int("n2_hi", *result.n2_hi);
+  out.add_raw("converted", mc_task_set_to_json(result.converted));
+  return out.str();
+}
+
+std::string sweep_to_json(
+    const std::vector<core::AdaptationSweepPoint>& points) {
+  std::vector<std::string> items;
+  items.reserve(points.size());
+  for (const auto& p : points) {
+    items.push_back(json::Object{}
+                        .add_int("n_adapt", p.n_adapt)
+                        .add_number("u_mc", p.u_mc)
+                        .add_number("pfh_lo", p.pfh_lo)
+                        .add_bool("schedulable", p.schedulable)
+                        .add_bool("safe", p.safe)
+                        .str());
+  }
+  return json::array(items);
+}
+
+}  // namespace ftmc::io

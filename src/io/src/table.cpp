@@ -1,0 +1,78 @@
+#include "ftmc/io/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::io {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FTMC_EXPECTS(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FTMC_EXPECTS(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::sci(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::scientific << value;
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      os << (c + 1 < cells.size() ? "  " : "");
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << (c + 1 < cells.size() ? "," : "");
+    }
+    os << "\n";
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+}
+
+}  // namespace ftmc::io

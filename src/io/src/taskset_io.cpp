@@ -1,0 +1,153 @@
+#include "ftmc/io/taskset_io.hpp"
+
+#include <charconv>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace ftmc::io {
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok.front() == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Splits "key=value"; throws on missing '='.
+std::pair<std::string, std::string> split_kv(const std::string& token,
+                                             int line_no) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": expected key=value, got '" + token + "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+double parse_number(const std::string& text, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": malformed number '" + text + "'");
+  }
+}
+
+Dal parse_dal_or_throw(const std::string& text, int line_no) {
+  const auto dal = parse_dal(text);
+  if (!dal) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": unknown DAL '" + text + "'");
+  }
+  return *dal;
+}
+
+}  // namespace
+
+core::FtTaskSet parse_task_set(std::istream& in) {
+  std::vector<core::FtTask> tasks;
+  DualCriticalityMapping mapping{};
+  bool saw_mapping = false;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "mapping") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = split_kv(tokens[i], line_no);
+        if (key == "HI") {
+          mapping.hi = parse_dal_or_throw(value, line_no);
+        } else if (key == "LO") {
+          mapping.lo = parse_dal_or_throw(value, line_no);
+        } else {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": unknown mapping key '" + key + "'");
+        }
+      }
+      saw_mapping = true;
+    } else if (tokens[0] == "task") {
+      if (tokens.size() < 2) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": task needs a name");
+      }
+      core::FtTask task;
+      task.name = tokens[1];
+      bool saw_deadline = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = split_kv(tokens[i], line_no);
+        if (key == "T") {
+          task.period = parse_number(value, line_no);
+        } else if (key == "D") {
+          task.deadline = parse_number(value, line_no);
+          saw_deadline = true;
+        } else if (key == "C") {
+          task.wcet = parse_number(value, line_no);
+        } else if (key == "dal") {
+          task.dal = parse_dal_or_throw(value, line_no);
+        } else if (key == "f") {
+          task.failure_prob = parse_number(value, line_no);
+        } else {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": unknown task key '" + key + "'");
+        }
+      }
+      if (!saw_deadline) task.deadline = task.period;
+      tasks.push_back(std::move(task));
+    } else {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown directive '" + tokens[0] + "'");
+    }
+  }
+
+  if (!saw_mapping) {
+    throw ParseError("missing 'mapping HI=<dal> LO=<dal>' directive");
+  }
+  core::FtTaskSet ts(std::move(tasks), mapping);
+  try {
+    ts.validate();
+  } catch (const ContractViolation& e) {
+    throw ParseError(std::string("invalid task set: ") + e.what());
+  }
+  return ts;
+}
+
+core::FtTaskSet parse_task_set_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_task_set(is);
+}
+
+void write_task_set(std::ostream& out, const core::FtTaskSet& ts) {
+  out << "mapping HI=" << ts.mapping().hi << " LO=" << ts.mapping().lo
+      << "\n";
+  const auto precision = out.precision(17);
+  for (const core::FtTask& t : ts.tasks()) {
+    out << "task " << t.name << " T=" << t.period << " D=" << t.deadline
+        << " C=" << t.wcet << " dal=" << t.dal << " f=" << t.failure_prob
+        << "\n";
+  }
+  out.precision(precision);
+}
+
+std::string task_set_to_string(const core::FtTaskSet& ts) {
+  std::ostringstream os;
+  write_task_set(os, ts);
+  return os.str();
+}
+
+}  // namespace ftmc::io

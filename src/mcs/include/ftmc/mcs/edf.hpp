@@ -1,0 +1,75 @@
+/// \file edf.hpp
+/// \brief Classical EDF schedulability analysis for sporadic task sets.
+///
+/// Two uses inside this library:
+///  1. the *baseline* of the paper's experiments ("without task killing or
+///     service degradation"): every task is budgeted at its own-criticality
+///     WCET and scheduled by plain EDF (Appendix B.0.3 remark);
+///  2. a general-deadline backend: the demand-bound-function test supports
+///     arbitrary relative deadlines (the task model of Sec. 2.1), whereas
+///     the EDF-VD utilization tests are implicit-deadline only.
+#pragma once
+
+#include <vector>
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Minimal sporadic task view for single-criticality EDF analysis.
+struct SporadicTask {
+  Millis period = 0.0;    ///< T_i (minimal inter-arrival time)
+  Millis deadline = 0.0;  ///< D_i (may be <, =, or > T_i)
+  Millis wcet = 0.0;      ///< C_i
+};
+
+/// Demand bound function of one sporadic task:
+///   dbf_i(t) = max(0, floor((t - D_i)/T_i) + 1) * C_i.
+[[nodiscard]] Millis demand_bound(const SporadicTask& task, Millis t);
+
+/// Total demand bound of a set at horizon t.
+[[nodiscard]] Millis demand_bound(const std::vector<SporadicTask>& tasks,
+                                  Millis t);
+
+/// Result of the processor-demand (DBF) feasibility test.
+struct EdfDbfResult {
+  bool schedulable = false;
+  double utilization = 0.0;
+  /// Largest horizon the test had to examine (0 if decided by utilization).
+  Millis tested_up_to = 0.0;
+  /// First point where demand exceeded supply (if unschedulable via DBF).
+  Millis violation_at = 0.0;
+};
+
+/// Exact (necessary and sufficient) EDF feasibility test on a preemptive
+/// uniprocessor via the processor-demand criterion: the set is schedulable
+/// iff U <= 1 and dbf(t) <= t for every absolute-deadline point t up to the
+/// standard bound max(D_max, sum U_i * max(0, T_i - D_i) / (1 - U)).
+[[nodiscard]] EdfDbfResult edf_schedulable(
+    const std::vector<SporadicTask>& tasks);
+
+/// Extracts the single-criticality view of a mixed-criticality set in which
+/// every task is budgeted at `wcet_level`.
+[[nodiscard]] std::vector<SporadicTask> as_sporadic(const McTaskSet& ts,
+                                                    CritLevel wcet_level);
+
+/// Extracts the view where each task is budgeted at the WCET of its *own*
+/// criticality level (the no-adaptation worst case).
+[[nodiscard]] std::vector<SporadicTask> as_sporadic_own_level(
+    const McTaskSet& ts);
+
+/// Baseline test: plain EDF with own-criticality WCET budgets and no mode
+/// switch. This is what "without task killing / degradation" means in the
+/// paper's Fig. 3 comparison.
+class EdfWorstCaseTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override {
+    return "EDF(worst-case)";
+  }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kNone;
+  }
+};
+
+}  // namespace ftmc::mcs

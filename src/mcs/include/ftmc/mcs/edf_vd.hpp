@@ -1,0 +1,63 @@
+/// \file edf_vd.hpp
+/// \brief EDF-VD schedulability analysis (Baruah et al., ECRTS 2012).
+///
+/// EDF-VD is the mode-switched technique the paper instantiates FT-S with
+/// (Appendix B.0.1). HI tasks run with shortened *virtual* deadlines x*D_i
+/// in LO mode; when any HI task overruns its LO WCET the system switches to
+/// HI mode, kills all LO tasks and restores true deadlines. The sufficient
+/// utilization test is Eq. (10) of the paper:
+///
+///   max{ U_HI^LO + U_LO^LO,
+///        U_HI^HI + U_HI^LO / (1 - U_LO^LO) * U_LO^LO } <= 1.
+///
+/// The test requires implicit deadlines.
+#pragma once
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Detailed outcome of the EDF-VD analysis; benches and the simulator use
+/// the intermediate quantities (utilizations, deadline-scaling factor x).
+struct EdfVdAnalysis {
+  bool schedulable = false;
+  /// True iff plain worst-case EDF (no mode switch at all) already works:
+  /// U_LO^LO + U_HI^HI <= 1. In that case x = 1.
+  bool plain_edf_suffices = false;
+  /// Virtual-deadline scaling factor for HI tasks (x in ECRTS'12,
+  /// lambda in Algorithm 2 of the paper). Only meaningful if schedulable.
+  double x = 1.0;
+  /// The value of the max{} expression of Eq. (10); <= 1 iff schedulable.
+  /// This is U_MC, the "mixed-criticality system utilization" plotted on
+  /// the left axes of Fig. 1 (see Algorithm 2, line 11).
+  double u_mc = 0.0;
+  // The four utilization aggregates of the paper's notation.
+  double u_lo_lo = 0.0;  ///< U_LO^LO
+  double u_hi_lo = 0.0;  ///< U_HI^LO
+  double u_hi_hi = 0.0;  ///< U_HI^HI
+};
+
+/// Runs the full EDF-VD analysis. Precondition: implicit deadlines
+/// (checked; throws ftmc::ContractViolation otherwise).
+[[nodiscard]] EdfVdAnalysis analyze_edf_vd(const McTaskSet& ts);
+
+/// Computes U_MC directly from the utilization aggregates; exposed
+/// separately because Algorithm 2 (line 11) evaluates it as a closed form
+/// over the adaptation profile without materializing converted task sets.
+[[nodiscard]] double edf_vd_umc(double u_lo_lo, double u_hi_lo,
+                                double u_hi_hi);
+
+/// SchedulabilityTest adapter for EDF-VD (LO tasks are killed in HI mode).
+class EdfVdTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override { return "EDF-VD"; }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kKilling;
+  }
+  [[nodiscard]] bool requires_implicit_deadlines() const override {
+    return true;
+  }
+};
+
+}  // namespace ftmc::mcs

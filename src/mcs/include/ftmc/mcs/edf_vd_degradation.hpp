@@ -1,0 +1,58 @@
+/// \file edf_vd_degradation.hpp
+/// \brief EDF-VD variant with service degradation of LO tasks
+///        (Huang et al., ASP-DAC 2014, [12] in the paper).
+///
+/// Instead of killing LO tasks at the mode switch, their inter-arrival times
+/// are stretched by a degradation factor d_f > 1 (T_i -> d_f * T_i). The
+/// sufficient schedulability test is Eq. (12) of the paper:
+///
+///   max{ U_HI^LO + U_LO^LO,
+///        U_HI^HI / (1 - U_HI^LO / (1 - U_LO^LO)) + U_LO^LO / (d_f - 1) } <= 1.
+#pragma once
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Detailed outcome of the degraded-service EDF-VD analysis.
+struct EdfVdDegradationAnalysis {
+  bool schedulable = false;
+  double degradation_factor = 1.0;  ///< d_f used for the analysis.
+  /// Virtual-deadline scaling factor (same lambda as plain EDF-VD).
+  double x = 1.0;
+  /// Value of the max{} expression of Eq. (12); this is U_MC as adapted in
+  /// Eq. (11) and plotted on the left axis of Fig. 2.
+  double u_mc = 0.0;
+  double u_lo_lo = 0.0;  ///< U_LO^LO
+  double u_hi_lo = 0.0;  ///< U_HI^LO
+  double u_hi_hi = 0.0;  ///< U_HI^HI
+};
+
+/// Runs the degraded-service analysis with factor `df` (> 1 required).
+/// Precondition: implicit deadlines.
+[[nodiscard]] EdfVdDegradationAnalysis analyze_edf_vd_degradation(
+    const McTaskSet& ts, double df);
+
+/// Closed-form U_MC of Eq. (11)/(12) from the utilization aggregates.
+[[nodiscard]] double edf_vd_degradation_umc(double u_lo_lo, double u_hi_lo,
+                                            double u_hi_hi, double df);
+
+/// SchedulabilityTest adapter (LO tasks get degraded service in HI mode).
+class EdfVdDegradationTest final : public SchedulabilityTest {
+ public:
+  explicit EdfVdDegradationTest(double df);
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kDegradation;
+  }
+  [[nodiscard]] bool requires_implicit_deadlines() const override {
+    return true;
+  }
+  [[nodiscard]] double degradation_factor() const noexcept { return df_; }
+
+ private:
+  double df_;
+};
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,68 @@
+/// \file fixed_priority.hpp
+/// \brief Fixed-priority response-time analyses: classical RTA and AMC-rtb.
+///
+/// The paper notes (Appendix B.0.3) that both classical techniques and
+/// other mixed-criticality techniques can be integrated into FT-S. We
+/// provide the fixed-priority family:
+///  - classical deadline-monotonic RTA (no mode switch; every task budgeted
+///    at its own-criticality WCET) as another no-adaptation baseline, and
+///  - AMC-rtb (Baruah/Burns/Davis, RTSS 2011), the standard mixed-
+///    criticality fixed-priority test with LO-task killing at mode switch.
+/// Both analyses require constrained deadlines (D_i <= T_i).
+#pragma once
+
+#include <vector>
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Deadline-monotonic priority order: returns task indices, highest
+/// priority first (smallest relative deadline; ties broken by index).
+[[nodiscard]] std::vector<std::size_t> deadline_monotonic_order(
+    const McTaskSet& ts);
+
+/// Per-task outcome of a response-time analysis.
+struct ResponseTimes {
+  bool schedulable = false;
+  /// Worst-case response times in LO mode, indexed like the task set.
+  std::vector<Millis> lo;
+  /// Worst-case response times covering the mode switch (HI tasks only;
+  /// entries for LO tasks repeat their LO value). Empty for classical RTA.
+  std::vector<Millis> hi;
+};
+
+/// Classical RTA with every task budgeted at the WCET of its own
+/// criticality level and no mode switch.
+[[nodiscard]] ResponseTimes analyze_rta_worst_case(const McTaskSet& ts);
+
+/// AMC-rtb analysis: LO-mode RTA with C(LO) budgets for all tasks, plus the
+/// mode-switch bound for HI tasks
+///   R*_i = C_i(HI) + sum_{j in hpH(i)} ceil(R*_i/T_j) C_j(HI)
+///                  + sum_{k in hpL(i)} ceil(R^LO_i/T_k) C_k(LO).
+[[nodiscard]] ResponseTimes analyze_amc_rtb(const McTaskSet& ts);
+
+/// Baseline: deadline-monotonic fixed priority, worst-case budgets, no
+/// mode switch.
+class DmWorstCaseTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override {
+    return "DM(worst-case)";
+  }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kNone;
+  }
+};
+
+/// AMC-rtb mixed-criticality test (LO tasks are killed in HI mode).
+class AmcRtbTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override { return "AMC-rtb"; }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kKilling;
+  }
+};
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,71 @@
+/// \file mc_dbf.hpp
+/// \brief Demand-bound-function schedulability test for dual-criticality
+///        sporadic tasks with per-task virtual-deadline tuning, in the
+///        style of Ekberg & Yi (ECRTS 2012).
+///
+/// Unlike the EDF-VD utilization test (implicit deadlines only), this test
+/// handles constrained deadlines (D <= T), which matters because the
+/// paper's task model (Sec. 2.1) allows arbitrary deadlines. The model:
+///
+///  - LO mode: every task budgeted at C(LO); HI tasks run against a
+///    *virtual* relative deadline d_i <= D_i; EDF feasibility via
+///    dbf_LO(t) <= t for all t.
+///  - HI mode (after the switch): only HI tasks remain, budgeted at
+///    C(HI). A carry-over job is guaranteed (by LO-mode feasibility) not
+///    to have passed its virtual deadline, so at least D_i - d_i of its
+///    true deadline remains; we bound its residual demand by the full
+///    C_i(HI). HI-mode demand is therefore that of a sporadic task with
+///    deadline D_i - d_i, period T_i, WCET C_i(HI).
+///
+/// The tuner first scans a uniform scaling grid d_i = max(C_i(LO),
+/// x * D_i), then greedily shrinks individual d_i at the first HI-mode
+/// violation point (gaining HI slack at the cost of LO slack) until both
+/// modes pass or no move remains. Any fixed assignment that passes both
+/// checks is sufficient, so the heuristic cannot compromise soundness.
+#pragma once
+
+#include <vector>
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Tuning knobs for the virtual-deadline search.
+struct McDbfOptions {
+  /// Number of uniform scaling factors tried in phase 1 (x = k/grid).
+  int grid = 32;
+  /// Cap on greedy refinement steps in phase 2.
+  int max_refinement_steps = 256;
+};
+
+/// Analysis outcome; virtual_deadlines is meaningful only on success.
+struct McDbfAnalysis {
+  bool schedulable = false;
+  /// Chosen virtual relative deadline per task (== D_i for LO tasks).
+  std::vector<Millis> virtual_deadlines;
+  /// Uniform scaling factor phase 1 settled on (1.0 if phase 1 failed).
+  double uniform_factor = 1.0;
+  /// Greedy steps taken in phase 2 (0 if phase 1 already succeeded).
+  int refinement_steps = 0;
+};
+
+/// Runs the analysis. Requires constrained deadlines (D <= T) so that at
+/// most one job per task carries over the mode switch.
+[[nodiscard]] McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
+                                           const McDbfOptions& options = {});
+
+/// SchedulabilityTest adapter (LO tasks are killed in HI mode).
+class McDbfTest final : public SchedulabilityTest {
+ public:
+  explicit McDbfTest(McDbfOptions options = {}) : options_(options) {}
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override { return "MC-DBF"; }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kKilling;
+  }
+
+ private:
+  McDbfOptions options_;
+};
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,54 @@
+/// \file opa.hpp
+/// \brief Audsley's Optimal Priority Assignment (OPA) for fixed-priority
+///        mixed-criticality scheduling.
+///
+/// Deadline-monotonic ordering is not optimal for AMC-rtb; Audsley's
+/// algorithm is, for any per-level schedulability test that depends only
+/// on the *set* (not the relative order) of higher-priority tasks —
+/// which AMC-rtb satisfies (Baruah/Burns/Davis, RTSS 2011). This widens
+/// the fixed-priority instantiation of FT-S beyond DM.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Is task `index` schedulable at the lowest priority, given that every
+/// task in `higher` (order-irrelevant) has higher priority?
+using OpaLevelTest = std::function<bool(
+    const McTaskSet& ts, std::size_t index,
+    const std::vector<std::size_t>& higher)>;
+
+/// Audsley's algorithm: assigns priorities from the lowest level upward.
+/// Returns the priority order (highest priority first), or nullopt if no
+/// assignment exists under the given per-level test.
+[[nodiscard]] std::optional<std::vector<std::size_t>> opa_assign(
+    const McTaskSet& ts, const OpaLevelTest& level_test);
+
+/// AMC-rtb per-level test: LO-mode response time with C(LO) budgets, plus
+/// the mode-switch bound R* for HI tasks (higher-priority HI interference
+/// at C(HI), LO interference frozen at the LO-mode count).
+[[nodiscard]] bool amc_rtb_schedulable_at(
+    const McTaskSet& ts, std::size_t index,
+    const std::vector<std::size_t>& higher);
+
+/// Convenience: OPA with the AMC-rtb level test.
+[[nodiscard]] std::optional<std::vector<std::size_t>> opa_assign_amc_rtb(
+    const McTaskSet& ts);
+
+/// SchedulabilityTest adapter: schedulable iff OPA finds an assignment
+/// under AMC-rtb. Dominates the DM-ordered AmcRtbTest.
+class AmcRtbOpaTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override { return "AMC-rtb+OPA"; }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kKilling;
+  }
+};
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,33 @@
+/// \file sensitivity.hpp
+/// \brief Sensitivity analysis: how much WCET headroom does a design have?
+///
+/// The paper's Fig. 1/2 read schedulability off U_MC at one design point;
+/// sensitivity analysis asks the dual question — by what factor can all
+/// WCETs grow (or: must shrink) before the verdict of a schedulability
+/// test flips. Used by the ablation benches and useful to downstream
+/// users sizing processors.
+#pragma once
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// Result of the scaling search.
+struct ScalingResult {
+  /// Largest factor s (within [floor, ceiling]) such that scaling every
+  /// WCET of the set by s is still accepted by the test; 0 if even the
+  /// floor fails.
+  double max_scaling = 0.0;
+  /// True iff the unscaled set (s = 1) is accepted.
+  bool schedulable_as_given = false;
+};
+
+/// Binary-searches the largest WCET scaling factor accepted by `test`.
+/// Assumes the test is monotone in the scaling (true for every test in
+/// this library: demand only grows with WCETs). Tolerance is on s.
+[[nodiscard]] ScalingResult max_wcet_scaling(const McTaskSet& ts,
+                                             const SchedulabilityTest& test,
+                                             double ceiling = 8.0,
+                                             double tolerance = 1e-4);
+
+}  // namespace ftmc::mcs

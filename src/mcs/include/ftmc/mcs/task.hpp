@@ -1,0 +1,96 @@
+/// \file task.hpp
+/// \brief Conventional (Vestal-style) mixed-criticality task model.
+///
+/// This is the *target* model of the paper's problem conversion (Lemma 4.1):
+/// a sporadic task with one WCET per criticality level. The scheduling
+/// substrate (EDF-VD and friends) operates purely on this model and knows
+/// nothing about faults — exactly as in the literature the paper builds on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/common/criticality.hpp"
+#include "ftmc/common/time.hpp"
+
+namespace ftmc::mcs {
+
+/// A sporadic mixed-criticality task with per-level WCETs (paper Sec. 2.2).
+///
+/// Invariants (checked by validate()):
+///  - period > 0, deadline > 0, 0 < wcet_lo <= wcet_hi;
+///  - a task never executes beyond the WCET of its own criticality level,
+///    so for LO tasks wcet_hi is by convention equal to wcet_lo.
+struct McTask {
+  std::string name;        ///< Human-readable identifier.
+  Millis period = 0.0;     ///< Minimal inter-arrival time T_i.
+  Millis deadline = 0.0;   ///< Relative deadline D_i.
+  Millis wcet_lo = 0.0;    ///< C_i(LO): WCET assumed in LO mode.
+  Millis wcet_hi = 0.0;    ///< C_i(HI): WCET assumed in HI mode.
+  CritLevel crit = CritLevel::LO;
+
+  /// C_i(level) as written in the paper.
+  [[nodiscard]] Millis wcet(CritLevel level) const noexcept {
+    return level == CritLevel::HI ? wcet_hi : wcet_lo;
+  }
+
+  /// Utilization at the given assumption level: C_i(level) / T_i.
+  [[nodiscard]] double utilization(CritLevel level) const noexcept {
+    return wcet(level) / period;
+  }
+
+  [[nodiscard]] bool implicit_deadline() const noexcept {
+    return deadline == period;
+  }
+  [[nodiscard]] bool constrained_deadline() const noexcept {
+    return deadline <= period;
+  }
+
+  /// Throws ftmc::ContractViolation if any model invariant is broken.
+  void validate() const;
+};
+
+/// A dual-criticality sporadic task set plus the utilization algebra
+/// (U_x^y in the paper's notation) used by every schedulability test.
+class McTaskSet {
+ public:
+  McTaskSet() = default;
+  explicit McTaskSet(std::vector<McTask> tasks);
+
+  void add(McTask task);
+
+  [[nodiscard]] const std::vector<McTask>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const McTask& operator[](std::size_t i) const {
+    return tasks_[i];
+  }
+
+  /// U_{task_level}^{wcet_level} = sum over tasks of criticality
+  /// `task_level` of C_i(wcet_level) / T_i (paper Appendix B notation).
+  [[nodiscard]] double utilization(CritLevel task_level,
+                                   CritLevel wcet_level) const noexcept;
+
+  /// Total utilization at a uniform WCET assumption level.
+  [[nodiscard]] double total_utilization(CritLevel wcet_level) const noexcept {
+    return utilization(CritLevel::LO, wcet_level) +
+           utilization(CritLevel::HI, wcet_level);
+  }
+
+  /// Number of tasks at a criticality level.
+  [[nodiscard]] std::size_t count(CritLevel level) const noexcept;
+
+  [[nodiscard]] bool all_implicit_deadlines() const noexcept;
+  [[nodiscard]] bool all_constrained_deadlines() const noexcept;
+
+  /// Validates every task and the set-level invariants.
+  void validate() const;
+
+ private:
+  std::vector<McTask> tasks_;
+};
+
+}  // namespace ftmc::mcs

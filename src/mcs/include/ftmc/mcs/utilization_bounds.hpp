@@ -1,0 +1,46 @@
+/// \file utilization_bounds.hpp
+/// \brief Classical rate-monotonic utilization bounds.
+///
+/// Completes the fixed-priority family with the two textbook sufficient
+/// tests for implicit-deadline periodic tasks under RM:
+///  - Liu & Layland (1973):  U <= n (2^{1/n} - 1);
+///  - the hyperbolic bound (Bini/Buttazzo/Buttazzo 2003):
+///    prod (u_i + 1) <= 2,  which dominates Liu-Layland.
+/// Included mostly as cheap baselines/sanity checks — the RTA in
+/// fixed_priority.hpp is exact for this setting — and as another
+/// "classical technique" pluggable into FT-S (Appendix B.0.3).
+#pragma once
+
+#include "ftmc/mcs/schedulability.hpp"
+
+namespace ftmc::mcs {
+
+/// n (2^{1/n} - 1); 1.0 for n == 0 by convention (empty set fits).
+[[nodiscard]] double liu_layland_bound(std::size_t n);
+
+/// Liu-Layland test on explicit utilizations.
+[[nodiscard]] bool rm_schedulable_liu_layland(
+    const std::vector<double>& utilizations);
+
+/// Hyperbolic-bound test on explicit utilizations.
+[[nodiscard]] bool rm_schedulable_hyperbolic(
+    const std::vector<double>& utilizations);
+
+/// Baseline test: rate-monotonic with own-criticality WCET budgets and no
+/// mode switch, decided by the hyperbolic bound. Requires implicit
+/// deadlines (RM = DM there).
+class RmWorstCaseTest final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const McTaskSet& ts) const override;
+  [[nodiscard]] std::string name() const override {
+    return "RM(hyperbolic)";
+  }
+  [[nodiscard]] AdaptationKind adaptation() const override {
+    return AdaptationKind::kNone;
+  }
+  [[nodiscard]] bool requires_implicit_deadlines() const override {
+    return true;
+  }
+};
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,130 @@
+#include "ftmc/mcs/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftmc::mcs {
+namespace {
+
+/// Guard against pathological horizons as U -> 1: beyond this many check
+/// points the test gives up and reports "not proven schedulable" (sound for
+/// a sufficient test; in this library such sets only arise at U ~ 1 where
+/// the answer is "unschedulable for all practical purposes" anyway).
+constexpr std::size_t kMaxCheckPoints = 4'000'000;
+
+}  // namespace
+
+Millis demand_bound(const SporadicTask& task, Millis t) {
+  FTMC_EXPECTS(task.period > 0.0 && task.deadline > 0.0 && task.wcet >= 0.0,
+               "malformed sporadic task");
+  if (t < task.deadline) return 0.0;
+  const double jobs = std::floor((t - task.deadline) / task.period) + 1.0;
+  return jobs * task.wcet;
+}
+
+Millis demand_bound(const std::vector<SporadicTask>& tasks, Millis t) {
+  Millis demand = 0.0;
+  for (const SporadicTask& task : tasks) demand += demand_bound(task, t);
+  return demand;
+}
+
+EdfDbfResult edf_schedulable(const std::vector<SporadicTask>& tasks) {
+  EdfDbfResult result;
+  double u = 0.0;
+  Millis d_max = 0.0;
+  bool all_deadlines_ge_period = true;
+  for (const SporadicTask& task : tasks) {
+    FTMC_EXPECTS(task.period > 0.0 && task.deadline > 0.0 && task.wcet >= 0.0,
+                 "malformed sporadic task");
+    u += task.wcet / task.period;
+    d_max = std::max(d_max, task.deadline);
+    if (task.deadline < task.period) all_deadlines_ge_period = false;
+  }
+  result.utilization = u;
+
+  if (u > 1.0) {
+    result.schedulable = false;
+    return result;
+  }
+  if (all_deadlines_ge_period) {
+    // D_i >= T_i implies dbf_i(t) <= u_i * t, so U <= 1 is sufficient
+    // (and it is always necessary).
+    result.schedulable = true;
+    return result;
+  }
+
+  // Busy-period style horizon: any dbf violation occurs before
+  //   L = max(D_max, sum_i U_i * max(0, T_i - D_i) / (1 - U)).
+  Millis horizon = d_max;
+  if (u < 1.0) {
+    Millis num = 0.0;
+    for (const SporadicTask& task : tasks) {
+      num += (task.wcet / task.period) *
+             std::max(0.0, task.period - task.deadline);
+    }
+    horizon = std::max(horizon, num / (1.0 - u));
+  } else {
+    // U == 1 with some constrained deadline: the theoretical horizon is
+    // unbounded; fall back to a large multiple of the longest period and
+    // accept possible (sound) pessimism if the point budget runs out.
+    Millis t_max = 0.0;
+    for (const SporadicTask& task : tasks)
+      t_max = std::max(t_max, task.period);
+    horizon = std::max(d_max, 1000.0 * t_max);
+  }
+
+  // Collect all absolute deadline points k*T_i + D_i <= horizon.
+  std::vector<Millis> points;
+  for (const SporadicTask& task : tasks) {
+    const double count =
+        std::max(0.0, std::floor((horizon - task.deadline) / task.period) + 1.0);
+    if (points.size() + static_cast<std::size_t>(count) > kMaxCheckPoints) {
+      result.schedulable = false;  // not proven within the point budget
+      result.tested_up_to = 0.0;
+      return result;
+    }
+    for (double k = 0.0; k < count; k += 1.0) {
+      points.push_back(k * task.period + task.deadline);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (const Millis t : points) {
+    if (demand_bound(tasks, t) > t) {
+      result.schedulable = false;
+      result.violation_at = t;
+      result.tested_up_to = t;
+      return result;
+    }
+  }
+  result.schedulable = true;
+  result.tested_up_to = horizon;
+  return result;
+}
+
+std::vector<SporadicTask> as_sporadic(const McTaskSet& ts,
+                                      CritLevel wcet_level) {
+  std::vector<SporadicTask> out;
+  out.reserve(ts.size());
+  for (const McTask& t : ts.tasks()) {
+    out.push_back({t.period, t.deadline, t.wcet(wcet_level)});
+  }
+  return out;
+}
+
+std::vector<SporadicTask> as_sporadic_own_level(const McTaskSet& ts) {
+  std::vector<SporadicTask> out;
+  out.reserve(ts.size());
+  for (const McTask& t : ts.tasks()) {
+    out.push_back({t.period, t.deadline, t.wcet(t.crit)});
+  }
+  return out;
+}
+
+bool EdfWorstCaseTest::schedulable(const McTaskSet& ts) const {
+  ts.validate();
+  return edf_schedulable(as_sporadic_own_level(ts)).schedulable;
+}
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,55 @@
+#include "ftmc/mcs/edf_vd_degradation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace ftmc::mcs {
+
+double edf_vd_degradation_umc(double u_lo_lo, double u_hi_lo, double u_hi_hi,
+                              double df) {
+  FTMC_EXPECTS(df > 1.0, "degradation factor d_f must exceed 1");
+  FTMC_EXPECTS(u_lo_lo >= 0.0 && u_hi_lo >= 0.0 && u_hi_hi >= 0.0,
+               "utilizations must be non-negative");
+  const double lo_mode = u_hi_lo + u_lo_lo;
+  if (u_lo_lo >= 1.0) return std::numeric_limits<double>::infinity();
+  const double x = u_hi_lo / (1.0 - u_lo_lo);
+  if (x >= 1.0) return std::numeric_limits<double>::infinity();
+  const double hi_mode = u_hi_hi / (1.0 - x) + u_lo_lo / (df - 1.0);
+  return std::max(lo_mode, hi_mode);
+}
+
+EdfVdDegradationAnalysis analyze_edf_vd_degradation(const McTaskSet& ts,
+                                                    double df) {
+  ts.validate();
+  FTMC_EXPECTS(ts.all_implicit_deadlines(),
+               "degraded-service EDF-VD test requires implicit deadlines");
+  FTMC_EXPECTS(df > 1.0, "degradation factor d_f must exceed 1");
+
+  EdfVdDegradationAnalysis a;
+  a.degradation_factor = df;
+  a.u_lo_lo = ts.utilization(CritLevel::LO, CritLevel::LO);
+  a.u_hi_lo = ts.utilization(CritLevel::HI, CritLevel::LO);
+  a.u_hi_hi = ts.utilization(CritLevel::HI, CritLevel::HI);
+
+  a.u_mc = edf_vd_degradation_umc(a.u_lo_lo, a.u_hi_lo, a.u_hi_hi, df);
+  a.schedulable = a.u_mc <= 1.0;
+  a.x = (a.u_lo_lo < 1.0) ? a.u_hi_lo / (1.0 - a.u_lo_lo) : 1.0;
+  return a;
+}
+
+EdfVdDegradationTest::EdfVdDegradationTest(double df) : df_(df) {
+  FTMC_EXPECTS(df > 1.0, "degradation factor d_f must exceed 1");
+}
+
+bool EdfVdDegradationTest::schedulable(const McTaskSet& ts) const {
+  return analyze_edf_vd_degradation(ts, df_).schedulable;
+}
+
+std::string EdfVdDegradationTest::name() const {
+  std::ostringstream os;
+  os << "EDF-VD/degradation(df=" << df_ << ")";
+  return os.str();
+}
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,186 @@
+#include "ftmc/mcs/mc_dbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftmc/mcs/edf.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+/// LO-mode view: all tasks at C(LO); HI tasks against their virtual
+/// deadlines. HI tasks with a zero LO budget (adaptation profile n' = 0)
+/// contribute no LO-mode demand and are skipped.
+std::vector<SporadicTask> lo_mode_view(const McTaskSet& ts,
+                                       const std::vector<Millis>& vd) {
+  std::vector<SporadicTask> out;
+  out.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const McTask& t = ts[i];
+    if (t.wcet_lo <= 0.0) continue;
+    out.push_back({t.period, vd[i], t.wcet_lo});
+  }
+  return out;
+}
+
+/// HI-mode view: HI tasks at C(HI) against the residual deadline
+/// D_i - d_i (full carry-over bound, see header).
+std::vector<SporadicTask> hi_mode_view(const McTaskSet& ts,
+                                       const std::vector<Millis>& vd) {
+  std::vector<SporadicTask> out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const McTask& t = ts[i];
+    if (t.crit != CritLevel::HI) continue;
+    out.push_back({t.period, t.deadline - vd[i], t.wcet_hi});
+  }
+  return out;
+}
+
+/// A residual deadline of 0 (d_i == D_i) makes the HI view ill-formed and
+/// trivially infeasible; detect it before delegating to edf_schedulable.
+bool hi_view_well_formed(const std::vector<SporadicTask>& view) {
+  for (const SporadicTask& t : view) {
+    if (t.deadline <= 0.0) return false;
+  }
+  return true;
+}
+
+bool both_modes_feasible(const McTaskSet& ts,
+                         const std::vector<Millis>& vd) {
+  const auto hi = hi_mode_view(ts, vd);
+  if (!hi_view_well_formed(hi)) return false;
+  return edf_schedulable(lo_mode_view(ts, vd)).schedulable &&
+         edf_schedulable(hi).schedulable;
+}
+
+}  // namespace
+
+McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
+                             const McDbfOptions& options) {
+  ts.validate();
+  FTMC_EXPECTS(ts.all_constrained_deadlines(),
+               "MC-DBF requires constrained deadlines (D <= T)");
+  FTMC_EXPECTS(options.grid >= 1, "grid must have at least one point");
+  FTMC_EXPECTS(options.max_refinement_steps >= 0,
+               "refinement step cap must be non-negative");
+
+  McDbfAnalysis result;
+  result.virtual_deadlines.resize(ts.size());
+
+  // Phase 0: if worst-case reservations already fit under plain EDF with
+  // true deadlines (HI tasks at C(HI), LO at C(LO)), no virtual deadlines
+  // are needed: the runtime never depends on the mode switch, and the
+  // carry-over pessimism below is avoided entirely. This also makes the
+  // test dominate the no-adaptation baseline.
+  if (edf_schedulable(as_sporadic_own_level(ts)).schedulable) {
+    result.schedulable = true;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      result.virtual_deadlines[i] = ts[i].deadline;
+    }
+    result.uniform_factor = 1.0;
+    return result;
+  }
+
+  const auto assign_uniform = [&ts](double x) {
+    std::vector<Millis> vd(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const McTask& t = ts[i];
+      vd[i] = (t.crit == CritLevel::HI)
+                  ? std::max(t.wcet_lo, x * t.deadline)
+                  : t.deadline;
+    }
+    return vd;
+  };
+
+  // --- Phase 1: uniform scaling grid, largest factor first (maximum LO
+  // slack retained).
+  for (int k = options.grid; k >= 1; --k) {
+    const double x = static_cast<double>(k) / (options.grid + 1);
+    const auto vd = assign_uniform(x);
+    if (both_modes_feasible(ts, vd)) {
+      result.schedulable = true;
+      result.virtual_deadlines = vd;
+      result.uniform_factor = x;
+      return result;
+    }
+  }
+
+  // --- Phase 2: greedy per-task refinement. Start from the largest
+  // uniform factor whose LO mode is feasible (there is no point refining
+  // an assignment that already overloads LO mode, since refinement only
+  // tightens it further).
+  std::vector<Millis> vd;
+  bool have_start = false;
+  for (int k = options.grid; k >= 1 && !have_start; --k) {
+    const double x = static_cast<double>(k) / (options.grid + 1);
+    auto candidate = assign_uniform(x);
+    if (edf_schedulable(lo_mode_view(ts, candidate)).schedulable) {
+      vd = std::move(candidate);
+      result.uniform_factor = x;
+      have_start = true;
+    }
+  }
+  if (!have_start) return result;  // LO mode alone is infeasible
+
+  std::vector<bool> frozen(ts.size(), false);
+  for (int step = 0; step < options.max_refinement_steps; ++step) {
+    const auto hi = hi_mode_view(ts, vd);
+    if (!hi_view_well_formed(hi)) break;
+    const EdfDbfResult hi_result = edf_schedulable(hi);
+    if (hi_result.schedulable) {
+      if (edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+        result.schedulable = true;
+        result.virtual_deadlines = vd;
+        result.refinement_steps = step;
+        return result;
+      }
+      break;  // LO regressed (should not happen: we only revert on LO fail)
+    }
+
+    // Shrink the virtual deadline of the HI task contributing the most
+    // demand at the violation point, just enough to push one of its jobs
+    // past that point.
+    const Millis l = hi_result.violation_at;
+    std::size_t best = ts.size();
+    Millis best_demand = 0.0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].crit != CritLevel::HI || frozen[i]) continue;
+      const SporadicTask view{ts[i].period, ts[i].deadline - vd[i],
+                              ts[i].wcet_hi};
+      if (view.deadline <= 0.0) continue;
+      const Millis demand = demand_bound(view, l);
+      if (demand > best_demand) {
+        best_demand = demand;
+        best = i;
+      }
+    }
+    if (best == ts.size()) break;  // nothing movable
+
+    const McTask& t = ts[best];
+    // Jobs of `best` due by l: r = floor((l - (D - d))/T) + 1. Require
+    // the r-th job's deadline to move past l: D - d > l - (r-1)T, i.e.
+    // d < D - l + (r-1)T. Nudge strictly below that threshold.
+    const double r =
+        std::floor((l - (t.deadline - vd[best])) / t.period) + 1.0;
+    Millis new_vd = t.deadline - l + (r - 1.0) * t.period;
+    new_vd = std::nextafter(new_vd, -1.0);          // strictly below
+    new_vd = std::max<Millis>(new_vd, t.wcet_lo);   // keep d >= C(LO)
+    if (new_vd >= vd[best]) {
+      frozen[best] = true;  // cannot make progress on this task
+      continue;
+    }
+    const Millis previous = vd[best];
+    vd[best] = new_vd;
+    if (!edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+      vd[best] = previous;  // LO cannot afford it: freeze and move on
+      frozen[best] = true;
+    }
+  }
+  return result;
+}
+
+bool McDbfTest::schedulable(const McTaskSet& ts) const {
+  return analyze_mc_dbf(ts, options_).schedulable;
+}
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,103 @@
+#include "ftmc/mcs/opa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftmc::mcs {
+namespace {
+
+/// Fixed-point response-time iteration (same recurrence as
+/// fixed_priority.cpp, duplicated here on an index-list interface so the
+/// OPA level test can work with unordered higher-priority sets).
+Millis fixpoint(const McTaskSet& ts, Millis base,
+                const std::vector<std::size_t>& higher, CritLevel budget,
+                Millis bound) {
+  Millis r = base;
+  for (;;) {
+    Millis next = base;
+    for (const std::size_t h : higher) {
+      next += std::ceil(r / ts[h].period) * ts[h].wcet(budget);
+    }
+    if (next > bound) return next;
+    if (next <= r) return r;
+    r = next;
+  }
+}
+
+}  // namespace
+
+bool amc_rtb_schedulable_at(const McTaskSet& ts, std::size_t index,
+                            const std::vector<std::size_t>& higher) {
+  FTMC_EXPECTS(index < ts.size(), "task index out of range");
+  const McTask& task = ts[index];
+  FTMC_EXPECTS(task.constrained_deadline(),
+               "AMC-rtb requires constrained deadlines (D <= T)");
+
+  // LO-mode bound with C(LO) budgets all around.
+  const Millis r_lo =
+      fixpoint(ts, task.wcet_lo, higher, CritLevel::LO, task.deadline);
+  if (r_lo > task.deadline) return false;
+  if (task.crit != CritLevel::HI) return true;
+
+  // Mode-switch bound: HI interference over R*, LO interference frozen at
+  // its LO-mode job count.
+  Millis frozen_lo = 0.0;
+  std::vector<std::size_t> higher_hi;
+  for (const std::size_t h : higher) {
+    if (ts[h].crit == CritLevel::HI) {
+      higher_hi.push_back(h);
+    } else {
+      frozen_lo += std::ceil(r_lo / ts[h].period) * ts[h].wcet_lo;
+    }
+  }
+  const Millis r_hi = fixpoint(ts, task.wcet_hi + frozen_lo, higher_hi,
+                               CritLevel::HI, task.deadline);
+  return r_hi <= task.deadline;
+}
+
+std::optional<std::vector<std::size_t>> opa_assign(
+    const McTaskSet& ts, const OpaLevelTest& level_test) {
+  ts.validate();
+  std::vector<std::size_t> unassigned(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) unassigned[i] = i;
+
+  // Build priorities from the bottom: at each level, any task schedulable
+  // with all remaining tasks above it may take the slot (Audsley's
+  // exchange argument makes the choice irrelevant for feasibility).
+  std::vector<std::size_t> order_low_to_high;
+  while (!unassigned.empty()) {
+    bool placed = false;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const std::size_t candidate = unassigned[pos];
+      std::vector<std::size_t> higher;
+      higher.reserve(unassigned.size() - 1);
+      for (const std::size_t other : unassigned) {
+        if (other != candidate) higher.push_back(other);
+      }
+      if (level_test(ts, candidate, higher)) {
+        order_low_to_high.push_back(candidate);
+        unassigned.erase(unassigned.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  std::reverse(order_low_to_high.begin(), order_low_to_high.end());
+  return order_low_to_high;  // highest priority first
+}
+
+std::optional<std::vector<std::size_t>> opa_assign_amc_rtb(
+    const McTaskSet& ts) {
+  return opa_assign(ts, [](const McTaskSet& set, std::size_t index,
+                           const std::vector<std::size_t>& higher) {
+    return amc_rtb_schedulable_at(set, index, higher);
+  });
+}
+
+bool AmcRtbOpaTest::schedulable(const McTaskSet& ts) const {
+  return opa_assign_amc_rtb(ts).has_value();
+}
+
+}  // namespace ftmc::mcs

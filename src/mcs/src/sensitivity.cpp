@@ -1,0 +1,57 @@
+#include "ftmc/mcs/sensitivity.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+McTaskSet scaled(const McTaskSet& ts, double s) {
+  McTaskSet out;
+  for (McTask t : ts.tasks()) {
+    t.wcet_lo *= s;
+    t.wcet_hi *= s;
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+ScalingResult max_wcet_scaling(const McTaskSet& ts,
+                               const SchedulabilityTest& test,
+                               double ceiling, double tolerance) {
+  ts.validate();
+  FTMC_EXPECTS(ceiling > 0.0, "scaling ceiling must be positive");
+  FTMC_EXPECTS(tolerance > 0.0, "tolerance must be positive");
+
+  ScalingResult result;
+  result.schedulable_as_given = test.schedulable(ts);
+
+  // Establish a feasible lower bracket. If even a vanishing scale fails
+  // (e.g. structurally infeasible deadlines), report 0.
+  double lo = result.schedulable_as_given ? 1.0 : 0.0;
+  if (!result.schedulable_as_given) {
+    double probe = 0.5;
+    while (probe > tolerance && !test.schedulable(scaled(ts, probe))) {
+      probe *= 0.5;
+    }
+    if (probe <= tolerance) return result;  // max_scaling = 0
+    lo = probe;
+  }
+
+  double hi = ceiling;
+  if (test.schedulable(scaled(ts, hi))) {
+    result.max_scaling = hi;
+    return result;
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (test.schedulable(scaled(ts, mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_scaling = lo;
+  return result;
+}
+
+}  // namespace ftmc::mcs

@@ -1,0 +1,67 @@
+#include "ftmc/mcs/task.hpp"
+
+#include <utility>
+
+namespace ftmc::mcs {
+
+void McTask::validate() const {
+  FTMC_EXPECTS(period > 0.0, "task '" + name + "': period must be positive");
+  FTMC_EXPECTS(deadline > 0.0,
+               "task '" + name + "': deadline must be positive");
+  // C(LO) == 0 is allowed for HI tasks: it encodes an adaptation profile of
+  // n' = 0 in the fault-tolerant conversion (the mode switch fires on the
+  // very first execution of any HI job).
+  FTMC_EXPECTS(wcet_lo >= 0.0,
+               "task '" + name + "': C(LO) must be non-negative");
+  FTMC_EXPECTS(wcet_hi > 0.0, "task '" + name + "': C(HI) must be positive");
+  FTMC_EXPECTS(wcet_hi >= wcet_lo,
+               "task '" + name + "': C(HI) must be >= C(LO)");
+  if (crit == CritLevel::LO) {
+    FTMC_EXPECTS(wcet_hi == wcet_lo,
+                 "task '" + name +
+                     "': a LO task must not have a larger HI-level WCET");
+    FTMC_EXPECTS(wcet_lo > 0.0,
+                 "task '" + name + "': a LO task needs a positive WCET");
+  }
+}
+
+McTaskSet::McTaskSet(std::vector<McTask> tasks) : tasks_(std::move(tasks)) {}
+
+void McTaskSet::add(McTask task) { tasks_.push_back(std::move(task)); }
+
+double McTaskSet::utilization(CritLevel task_level,
+                              CritLevel wcet_level) const noexcept {
+  double u = 0.0;
+  for (const McTask& t : tasks_) {
+    if (t.crit == task_level) u += t.utilization(wcet_level);
+  }
+  return u;
+}
+
+std::size_t McTaskSet::count(CritLevel level) const noexcept {
+  std::size_t n = 0;
+  for (const McTask& t : tasks_) {
+    if (t.crit == level) ++n;
+  }
+  return n;
+}
+
+bool McTaskSet::all_implicit_deadlines() const noexcept {
+  for (const McTask& t : tasks_) {
+    if (!t.implicit_deadline()) return false;
+  }
+  return true;
+}
+
+bool McTaskSet::all_constrained_deadlines() const noexcept {
+  for (const McTask& t : tasks_) {
+    if (!t.constrained_deadline()) return false;
+  }
+  return true;
+}
+
+void McTaskSet::validate() const {
+  for (const McTask& t : tasks_) t.validate();
+}
+
+}  // namespace ftmc::mcs

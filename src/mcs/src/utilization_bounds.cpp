@@ -1,0 +1,43 @@
+#include "ftmc/mcs/utilization_bounds.hpp"
+
+#include <cmath>
+
+namespace ftmc::mcs {
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool rm_schedulable_liu_layland(const std::vector<double>& utilizations) {
+  double u = 0.0;
+  for (const double x : utilizations) {
+    FTMC_EXPECTS(x >= 0.0, "utilizations must be non-negative");
+    u += x;
+  }
+  return u <= liu_layland_bound(utilizations.size());
+}
+
+bool rm_schedulable_hyperbolic(const std::vector<double>& utilizations) {
+  double product = 1.0;
+  for (const double x : utilizations) {
+    FTMC_EXPECTS(x >= 0.0, "utilizations must be non-negative");
+    product *= x + 1.0;
+  }
+  return product <= 2.0;
+}
+
+bool RmWorstCaseTest::schedulable(const McTaskSet& ts) const {
+  ts.validate();
+  FTMC_EXPECTS(ts.all_implicit_deadlines(),
+               "RM utilization bounds require implicit deadlines");
+  std::vector<double> utilizations;
+  utilizations.reserve(ts.size());
+  for (const McTask& t : ts.tasks()) {
+    utilizations.push_back(t.utilization(t.crit));
+  }
+  return rm_schedulable_hyperbolic(utilizations);
+}
+
+}  // namespace ftmc::mcs

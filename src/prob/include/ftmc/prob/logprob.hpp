@@ -1,0 +1,105 @@
+/// \file logprob.hpp
+/// \brief A probability value stored in the log domain.
+///
+/// `LogProb` represents p in [0, 1] as ln(p) in [-inf, 0]. Multiplication
+/// and integer powers are exact additions/scalings of logs; the complement
+/// (1 - p) is computed with expm1/log1mexp so that both p ~ 0 and p ~ 1 keep
+/// full relative precision of the *small* side. The PFH bounds in the paper
+/// need exactly this: survival probabilities R(N', t) are products of ~1e6
+/// factors each within 1e-10 of 1, and the quantity reported is 1 - R.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <limits>
+
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::prob {
+
+class LogProb {
+ public:
+  /// Default: probability 1 (log 0). The multiplicative identity.
+  constexpr LogProb() noexcept : log_(0.0) {}
+
+  /// Constructs from a linear-domain probability in [0, 1].
+  static LogProb from_linear(double p) {
+    FTMC_EXPECTS(p >= 0.0 && p <= 1.0, "LogProb requires p in [0,1]");
+    LogProb out;
+    out.log_ = (p == 0.0) ? -std::numeric_limits<double>::infinity()
+                          : std::log(p);
+    return out;
+  }
+
+  /// Constructs from a log-domain value (must be <= 0).
+  static LogProb from_log(double log_p) {
+    FTMC_EXPECTS(log_p <= 0.0, "LogProb requires log p <= 0");
+    LogProb out;
+    out.log_ = log_p;
+    return out;
+  }
+
+  /// Probability 0.
+  static LogProb zero() {
+    return from_log(-std::numeric_limits<double>::infinity());
+  }
+
+  /// Probability 1.
+  static LogProb one() { return LogProb{}; }
+
+  /// ln(p); -inf for p == 0.
+  [[nodiscard]] double log() const noexcept { return log_; }
+
+  /// Linear-domain value (may underflow to 0 for extremely small p; use
+  /// log() or log10() when the magnitude itself is the result).
+  [[nodiscard]] double linear() const noexcept { return std::exp(log_); }
+
+  /// log10(p), the quantity plotted in the paper's Fig. 1 and Fig. 2.
+  [[nodiscard]] double log10() const noexcept {
+    return log_ / 2.302585092994046;
+  }
+
+  /// p1 * p2 (exact addition of logs).
+  friend LogProb operator*(LogProb a, LogProb b) {
+    return from_log(a.log_ + b.log_);
+  }
+  LogProb& operator*=(LogProb other) {
+    log_ += other.log_;
+    return *this;
+  }
+
+  /// p^r for a real exponent r >= 0 ("r rounds of survival").
+  [[nodiscard]] LogProb pow(double r) const {
+    FTMC_EXPECTS(r >= 0.0, "LogProb::pow requires a non-negative exponent");
+    if (r == 0.0) return one();
+    return from_log(log_ * r);
+  }
+
+  /// 1 - p, computed without cancellation on either end.
+  [[nodiscard]] LogProb complement() const {
+    if (log_ == 0.0) return zero();  // p == 1
+    if (log_ == -std::numeric_limits<double>::infinity()) return one();
+    return from_log(log1mexp(log_));
+  }
+
+  /// Ordering on the underlying probability.
+  friend auto operator<=>(LogProb a, LogProb b) noexcept {
+    return a.log_ <=> b.log_;
+  }
+  friend bool operator==(LogProb a, LogProb b) noexcept {
+    return a.log_ == b.log_;
+  }
+
+ private:
+  double log_;  // ln(p), in [-inf, 0]
+};
+
+/// Survival of `rounds` independent rounds each failing with probability
+/// `per_round_failure`: (1 - f)^rounds, kept in the log domain.
+inline LogProb survival(double per_round_failure, double rounds) {
+  return LogProb::from_log(log_survival(per_round_failure, rounds));
+}
+
+std::ostream& operator<<(std::ostream& os, LogProb p);
+
+}  // namespace ftmc::prob

@@ -1,0 +1,17 @@
+#include "ftmc/prob/logprob.hpp"
+
+#include <ostream>
+
+namespace ftmc::prob {
+
+std::ostream& operator<<(std::ostream& os, LogProb p) {
+  // Print in whichever domain is informative: linear if representable,
+  // otherwise as a power of ten.
+  const double lin = p.linear();
+  if (lin > 0.0 || p.log() == -std::numeric_limits<double>::infinity()) {
+    return os << lin;
+  }
+  return os << "10^" << p.log10();
+}
+
+}  // namespace ftmc::prob

@@ -1,0 +1,137 @@
+/// \file engine.hpp
+/// \brief Discrete-event simulator for a preemptive uniprocessor running a
+///        fault-tolerant mixed-criticality workload.
+///
+/// Faithful to the paper's runtime model:
+///  - each job executes up to n_i attempts; a per-attempt Bernoulli(f_i)
+///    sanity check decides success;
+///  - when a HI job starts its (n'_i + 1)-th attempt the system switches to
+///    HI mode: LO jobs are killed (and future LO releases suppressed) or LO
+///    periods are stretched by d_f from their next arrival on;
+///  - under EDF-VD, HI jobs are ordered by virtual deadline in LO mode and
+///    by true deadline in HI mode.
+#pragma once
+
+#include <optional>
+#include <random>
+
+#include "ftmc/mcs/schedulability.hpp"
+#include "ftmc/sim/model.hpp"
+#include "ftmc/sim/stats.hpp"
+#include "ftmc/sim/trace.hpp"
+
+namespace ftmc::sim {
+
+/// Run configuration.
+struct SimConfig {
+  PolicyKind policy = PolicyKind::kEdfVd;
+  /// What the mode switch does to LO tasks.
+  mcs::AdaptationKind adaptation = mcs::AdaptationKind::kKilling;
+  /// d_f: LO inter-arrival stretch after the switch (kDegradation only).
+  double degradation_factor = 1.0;
+  Tick horizon = kTicksPerHour;  ///< simulate [0, horizon)
+  std::uint64_t seed = 1;
+
+  /// Arrival model: strictly periodic (minimal inter-arrival, the
+  /// worst case) or sporadic with an exponential extra gap of mean
+  /// `jitter_fraction * T` between consecutive releases.
+  bool sporadic_arrivals = false;
+  double jitter_fraction = 0.1;
+
+  /// When true, each task's first release is drawn uniformly from
+  /// [0, T_i) instead of the synchronous critical instant at t = 0.
+  /// Useful for Monte-Carlo PFH estimation where the synchronous burst
+  /// would bias short-horizon statistics.
+  bool random_phasing = false;
+
+  ExecTimeModel exec_model = ExecTimeModel::kAlwaysWcet;
+  double exec_min_fraction = 1.0;  ///< lower bound for kUniform
+
+  /// Return to LO mode at the first processor-idle instant after a switch
+  /// (a common MC runtime extension; off by default to match the paper's
+  /// latched-mode analysis).
+  bool mode_reset_on_idle = false;
+
+  /// Keep at most this many trace events (0 disables tracing).
+  std::size_t trace_capacity = 0;
+};
+
+/// The simulator. Construct, run once, inspect stats/trace.
+class Simulator {
+ public:
+  Simulator(std::vector<SimTask> tasks, SimConfig config);
+
+  /// Runs the full horizon and returns the aggregated statistics.
+  /// May be called once per instance.
+  SimStats run();
+
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] const std::vector<SimTask>& tasks() const noexcept {
+    return tasks_;
+  }
+
+  /// Empirical PFH of the tasks at `level`: temporal-domain failures per
+  /// simulated hour. Valid after run().
+  [[nodiscard]] double empirical_pfh(const SimStats& stats,
+                                     CritLevel level) const;
+
+ private:
+  struct Job {
+    std::uint32_t task = 0;
+    std::uint64_t id = 0;
+    Tick release = 0;
+    Tick abs_deadline = 0;
+    int faults = 0;         ///< segment faults so far (re-exec: failures)
+    int segments_done = 0;  ///< completed segments (re-exec: 0 until done)
+    Tick remaining = 0;     ///< remaining time of the current segment
+    bool alive = true;
+  };
+
+  struct Event {
+    Tick time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tiebreak for determinism
+    std::uint32_t task = 0;
+  };
+  friend bool operator>(const Event& a, const Event& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+
+  void release_job(std::uint32_t task_index, Tick now);
+  void schedule_next_release(std::uint32_t task_index, Tick from);
+  [[nodiscard]] Tick sample_segment_time(const SimTask& task);
+  [[nodiscard]] Tick job_key(const Job& job, std::uint32_t task_index) const;
+  [[nodiscard]] std::size_t pick_ready_job() const;
+  void finish_segment(std::size_t job_slot, Tick now);
+  void enter_hi_mode(Tick now);
+  void maybe_reset_mode(Tick now);
+  void record(Tick time, TraceKind kind, std::uint32_t task,
+              std::uint64_t job, std::uint32_t detail = 0);
+
+  std::vector<SimTask> tasks_;
+  SimConfig config_;
+  std::mt19937_64 rng_;
+
+  // Run state.
+  std::vector<Job> jobs_;             // slot pool; dead slots recycled
+  std::vector<std::size_t> ready_;    // slots of ready/running jobs
+  std::vector<std::size_t> free_slots_;
+  std::vector<Event> release_queue_;  // min-heap on (time, seq)
+  std::vector<Tick> next_release_;    // per task; kNever when suppressed
+  std::vector<std::uint64_t> next_job_id_;
+  std::uint64_t event_seq_ = 0;
+  CritLevel mode_ = CritLevel::LO;
+  bool ran_ = false;
+
+  SimStats stats_;
+  std::vector<TraceEvent> trace_;
+};
+
+/// One-call helper: build tasks from the analysis model, run, and return
+/// the stats (used by validation benches and tests).
+SimStats simulate(const core::FtTaskSet& ts, int n_hi, int n_lo,
+                  int n_adapt_hi, double virtual_deadline_factor,
+                  const SimConfig& config);
+
+}  // namespace ftmc::sim

@@ -1,0 +1,49 @@
+/// \file trace.hpp
+/// \brief Execution trace of the simulator (bounded, optional).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "ftmc/common/time.hpp"
+
+namespace ftmc::sim {
+
+/// What happened at a trace point.
+enum class TraceKind : std::uint8_t {
+  kRelease,      ///< a job arrived
+  kStart,        ///< a job (attempt) got the processor
+  kPreempt,      ///< the running job was preempted
+  kAttemptFail,  ///< an attempt finished but the sanity check failed
+  kComplete,     ///< a job finished successfully
+  kJobFail,      ///< all attempts of a job failed
+  kDeadlineMiss, ///< a job completed after its absolute deadline
+  kModeSwitch,   ///< the system entered HI mode
+  kModeReset,    ///< the system returned to LO mode (idle instant)
+  kKill,         ///< a LO job was discarded at the mode switch
+};
+
+[[nodiscard]] std::string_view to_string(TraceKind kind);
+
+/// One trace record. `task` indexes the simulator task list; `job` is the
+/// per-task job sequence number; `detail` is kind-specific (attempt number
+/// for kStart/kAttemptFail, 0 otherwise).
+struct TraceEvent {
+  Tick time = 0;
+  TraceKind kind = TraceKind::kRelease;
+  std::uint32_t task = 0;
+  std::uint64_t job = 0;
+  std::uint32_t detail = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& ev);
+
+/// Writes a trace as CSV (time_us,kind,task,task_name,job,detail) for
+/// external Gantt/timeline tooling. `task_names` indexes the simulator
+/// task list; pass {} to omit names.
+void write_trace_csv(std::ostream& os, const std::vector<TraceEvent>& trace,
+                     const std::vector<std::string>& task_names);
+
+}  // namespace ftmc::sim

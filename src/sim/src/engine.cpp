@@ -1,0 +1,411 @@
+#include "ftmc/sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::sim {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kStart: return "start";
+    case TraceKind::kPreempt: return "preempt";
+    case TraceKind::kAttemptFail: return "attempt-fail";
+    case TraceKind::kComplete: return "complete";
+    case TraceKind::kJobFail: return "job-fail";
+    case TraceKind::kDeadlineMiss: return "deadline-miss";
+    case TraceKind::kModeSwitch: return "mode-switch";
+    case TraceKind::kModeReset: return "mode-reset";
+    case TraceKind::kKill: return "kill";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& ev) {
+  os << "[" << ev.time << "] " << to_string(ev.kind) << " task=" << ev.task
+     << " job=" << ev.job;
+  if (ev.detail != 0) os << " attempt=" << ev.detail;
+  return os;
+}
+
+void write_trace_csv(std::ostream& os, const std::vector<TraceEvent>& trace,
+                     const std::vector<std::string>& task_names) {
+  os << "time_us,kind,task,task_name,job,detail\n";
+  for (const TraceEvent& ev : trace) {
+    os << ev.time << "," << to_string(ev.kind) << "," << ev.task << ","
+       << (ev.task < task_names.size() ? task_names[ev.task] : "") << ","
+       << ev.job << "," << ev.detail << "\n";
+  }
+}
+
+namespace {
+constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
+    : tasks_(std::move(tasks)), config_(config), rng_(config.seed) {
+  FTMC_EXPECTS(!tasks_.empty(), "simulator needs at least one task");
+  FTMC_EXPECTS(config_.horizon > 0, "simulation horizon must be positive");
+  for (const SimTask& t : tasks_) {
+    FTMC_EXPECTS(t.period > 0 && t.deadline > 0 && t.wcet > 0,
+                 "task '" + t.name + "': malformed timing parameters");
+    FTMC_EXPECTS(t.max_attempts >= 1,
+                 "task '" + t.name + "': needs at least one attempt");
+    FTMC_EXPECTS(t.failure_prob >= 0.0 && t.failure_prob < 1.0,
+                 "task '" + t.name + "': failure probability out of range");
+    FTMC_EXPECTS(t.virtual_deadline > 0 && t.virtual_deadline <= t.deadline,
+                 "task '" + t.name + "': virtual deadline out of range");
+    FTMC_EXPECTS(t.segments >= 1,
+                 "task '" + t.name + "': needs at least one segment");
+    FTMC_EXPECTS(t.checkpoint_overhead >= 0.0 && t.checkpoint_overhead < 1.0,
+                 "task '" + t.name + "': checkpoint overhead out of range");
+  }
+  if (config_.adaptation == mcs::AdaptationKind::kDegradation) {
+    FTMC_EXPECTS(config_.degradation_factor >= 1.0,
+                 "degradation factor must be >= 1");
+  }
+  if (config_.exec_model == ExecTimeModel::kUniform) {
+    FTMC_EXPECTS(config_.exec_min_fraction > 0.0 &&
+                     config_.exec_min_fraction <= 1.0,
+                 "exec_min_fraction must lie in (0, 1]");
+  }
+  stats_.per_task.resize(tasks_.size());
+  next_release_.assign(tasks_.size(), 0);
+  next_job_id_.assign(tasks_.size(), 0);
+}
+
+void Simulator::record(Tick time, TraceKind kind, std::uint32_t task,
+                       std::uint64_t job, std::uint32_t detail) {
+  if (trace_.size() < config_.trace_capacity) {
+    trace_.push_back({time, kind, task, job, detail});
+  }
+}
+
+Tick Simulator::sample_segment_time(const SimTask& task) {
+  const Tick nominal = task.segment_wcet();
+  if (config_.exec_model == ExecTimeModel::kAlwaysWcet) return nominal;
+  std::uniform_real_distribution<double> dist(config_.exec_min_fraction, 1.0);
+  const Tick t = static_cast<Tick>(dist(rng_) *
+                                   static_cast<double>(nominal));
+  return std::max<Tick>(t, 1);
+}
+
+Tick Simulator::job_key(const Job& job, std::uint32_t task_index) const {
+  const SimTask& task = tasks_[task_index];
+  switch (config_.policy) {
+    case PolicyKind::kEdf:
+      return job.abs_deadline;
+    case PolicyKind::kEdfVd:
+      // Virtual deadlines for HI jobs while in LO mode; true deadlines for
+      // everyone once the system has switched.
+      if (task.crit == CritLevel::HI && mode_ == CritLevel::LO) {
+        return job.release + task.virtual_deadline;
+      }
+      return job.abs_deadline;
+    case PolicyKind::kFixedPriority:
+      return static_cast<Tick>(task.priority);
+  }
+  FTMC_ENSURES(false, "unreachable policy kind");
+  return 0;
+}
+
+std::size_t Simulator::pick_ready_job() const {
+  std::size_t best = kNoJob;
+  Tick best_key = 0;
+  for (const std::size_t slot : ready_) {
+    const Job& job = jobs_[slot];
+    const Tick key = job_key(job, job.task);
+    if (best == kNoJob || key < best_key ||
+        (key == best_key &&
+         std::tie(job.release, job.task, job.id) <
+             std::tie(jobs_[best].release, jobs_[best].task,
+                      jobs_[best].id))) {
+      best = slot;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void Simulator::schedule_next_release(std::uint32_t task_index, Tick from) {
+  const SimTask& task = tasks_[task_index];
+  double period = static_cast<double>(task.period);
+  if (task.crit == CritLevel::LO && mode_ == CritLevel::HI &&
+      config_.adaptation == mcs::AdaptationKind::kDegradation) {
+    period *= config_.degradation_factor;
+  }
+  Tick gap = static_cast<Tick>(period);
+  if (config_.sporadic_arrivals) {
+    std::exponential_distribution<double> jitter(
+        1.0 / (config_.jitter_fraction * period));
+    gap += static_cast<Tick>(jitter(rng_));
+  }
+  next_release_[task_index] = from + gap;
+  release_queue_.push_back({next_release_[task_index], ++event_seq_,
+                            task_index});
+  std::push_heap(release_queue_.begin(), release_queue_.end(),
+                 [](const Event& a, const Event& b) { return a > b; });
+}
+
+void Simulator::release_job(std::uint32_t task_index, Tick now) {
+  const SimTask& task = tasks_[task_index];
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = jobs_.size();
+    jobs_.emplace_back();
+  }
+  Job& job = jobs_[slot];
+  job = Job{};
+  job.task = task_index;
+  job.id = next_job_id_[task_index]++;
+  job.release = now;
+  job.abs_deadline = now + task.deadline;
+  job.remaining = sample_segment_time(task);
+  job.alive = true;
+  ready_.push_back(slot);
+  ++stats_.per_task[task_index].released;
+  record(now, TraceKind::kRelease, task_index, job.id);
+
+  // An adaptation threshold of 0 means the trigger fires as soon as any HI
+  // job is about to execute at all (Sec. 3.3 allows n' = 0).
+  if (task.crit == CritLevel::HI && mode_ == CritLevel::LO &&
+      task.adapt_threshold == 0) {
+    enter_hi_mode(now);
+  }
+  schedule_next_release(task_index, now);
+}
+
+void Simulator::enter_hi_mode(Tick now) {
+  if (mode_ == CritLevel::HI) return;
+  mode_ = CritLevel::HI;
+  ++stats_.mode_switches;
+  if (stats_.first_mode_switch == kNever) stats_.first_mode_switch = now;
+  record(now, TraceKind::kModeSwitch, 0, 0);
+
+  if (config_.adaptation == mcs::AdaptationKind::kKilling) {
+    // Discard all current LO jobs and suppress future LO releases.
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      Job& job = jobs_[*it];
+      if (tasks_[job.task].crit == CritLevel::LO) {
+        ++stats_.per_task[job.task].killed;
+        record(now, TraceKind::kKill, job.task, job.id);
+        job.alive = false;
+        free_slots_.push_back(*it);
+        it = ready_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].crit == CritLevel::LO) next_release_[i] = kNever;
+    }
+  } else if (config_.adaptation == mcs::AdaptationKind::kDegradation) {
+    // Already-released LO jobs keep running; pending next releases are
+    // pushed out so that the inter-arrival from the *previous* release
+    // grows to d_f * T (service model of [12]).
+    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+      const SimTask& task = tasks_[i];
+      if (task.crit != CritLevel::LO || next_release_[i] == kNever) continue;
+      const Tick stretched =
+          next_release_[i] +
+          static_cast<Tick>((config_.degradation_factor - 1.0) *
+                            static_cast<double>(task.period));
+      next_release_[i] = stretched;
+      release_queue_.push_back({stretched, ++event_seq_, i});
+      std::push_heap(release_queue_.begin(), release_queue_.end(),
+                     [](const Event& a, const Event& b) { return a > b; });
+    }
+  }
+  // kNone: the mode switch has no effect on LO tasks (not used in
+  // practice; kept for completeness).
+}
+
+void Simulator::maybe_reset_mode(Tick now) {
+  if (!config_.mode_reset_on_idle || mode_ != CritLevel::HI) return;
+  mode_ = CritLevel::LO;
+  ++stats_.mode_resets;
+  record(now, TraceKind::kModeReset, 0, 0);
+  if (config_.adaptation == mcs::AdaptationKind::kKilling) {
+    // Re-admit LO tasks from this idle instant on.
+    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].crit == CritLevel::LO && next_release_[i] == kNever) {
+        next_release_[i] = now;
+        release_queue_.push_back({now, ++event_seq_, i});
+        std::push_heap(release_queue_.begin(), release_queue_.end(),
+                       [](const Event& a, const Event& b) { return a > b; });
+      }
+    }
+  }
+}
+
+void Simulator::finish_segment(std::size_t job_slot, Tick now) {
+  Job& job = jobs_[job_slot];
+  const std::uint32_t task_index = job.task;
+  const SimTask& task = tasks_[task_index];
+  TaskStats& ts = stats_.per_task[task_index];
+  ++ts.attempts;  // one completed segment execution
+
+  std::bernoulli_distribution fault(task.segment_failure_prob());
+  if (!fault(rng_)) {
+    // Sanity check passed for this segment.
+    ++job.segments_done;
+    if (job.segments_done < task.segments) {
+      job.remaining = sample_segment_time(task);
+      return;  // next segment; job keeps the processor slot
+    }
+    // All segments done: job complete.
+    ++ts.completed;
+    const Tick response = now - job.release;
+    ts.max_response = std::max(ts.max_response, response);
+    ts.total_response += response;
+    if (now > job.abs_deadline) {
+      ++ts.deadline_misses;
+      record(now, TraceKind::kDeadlineMiss, task_index, job.id);
+    }
+    record(now, TraceKind::kComplete, task_index, job.id);
+  } else {
+    ++ts.faults;
+    ++job.faults;
+    record(now, TraceKind::kAttemptFail, task_index, job.id,
+           static_cast<std::uint32_t>(job.faults));
+    // max_attempts bounds the total faults a job may absorb: for full
+    // re-execution (segments == 1) this is the paper's "execute at most
+    // n_i times"; for checkpointing it is the retry budget R = n - 1.
+    if (job.faults < task.max_attempts) {
+      // The (n' + 1)-th execution of a HI job triggers the mode switch
+      // (Sec. 3.3), i.e. once adapt_threshold faults have accumulated.
+      if (task.crit == CritLevel::HI && mode_ == CritLevel::LO &&
+          job.faults >= task.adapt_threshold) {
+        enter_hi_mode(now);
+      }
+      job.remaining = sample_segment_time(task);
+      return;  // re-run the faulted segment
+    }
+    ++ts.job_failures;
+    record(now, TraceKind::kJobFail, task_index, job.id);
+  }
+  // Retire the job (success or exhausted attempts).
+  job.alive = false;
+  ready_.erase(std::find(ready_.begin(), ready_.end(), job_slot));
+  free_slots_.push_back(job_slot);
+}
+
+SimStats Simulator::run() {
+  FTMC_EXPECTS(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+  stats_.horizon = config_.horizon;
+
+  const auto heap_greater = [](const Event& a, const Event& b) {
+    return a > b;
+  };
+  // Synchronous release at t = 0 (the critical instant), or uniformly
+  // random phases when configured.
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+    Tick phase = 0;
+    if (config_.random_phasing) {
+      std::uniform_int_distribution<Tick> dist(0, tasks_[i].period - 1);
+      phase = dist(rng_);
+    }
+    next_release_[i] = phase;
+    release_queue_.push_back({phase, ++event_seq_, i});
+  }
+  std::make_heap(release_queue_.begin(), release_queue_.end(), heap_greater);
+
+  Tick now = 0;
+  std::size_t running = kNoJob;
+
+  const auto pop_due_releases = [&](Tick time) {
+    while (!release_queue_.empty() && release_queue_.front().time <= time) {
+      const Event ev = release_queue_.front();
+      std::pop_heap(release_queue_.begin(), release_queue_.end(),
+                    heap_greater);
+      release_queue_.pop_back();
+      // Stale entries (task postponed/suppressed since scheduling).
+      if (next_release_[ev.task] != ev.time) continue;
+      release_job(ev.task, ev.time);
+    }
+  };
+
+  while (now < config_.horizon) {
+    if (ready_.empty()) {
+      // Idle until the next release (if any within the horizon).
+      maybe_reset_mode(now);
+      Tick next = kNever;
+      while (!release_queue_.empty()) {
+        const Event& top = release_queue_.front();
+        if (next_release_[top.task] != top.time) {
+          std::pop_heap(release_queue_.begin(), release_queue_.end(),
+                        heap_greater);
+          release_queue_.pop_back();
+          continue;
+        }
+        next = top.time;
+        break;
+      }
+      if (next == kNever || next >= config_.horizon) break;
+      now = next;
+      pop_due_releases(now);
+      running = kNoJob;
+      continue;
+    }
+
+    const std::size_t pick = pick_ready_job();
+    if (running != kNoJob && running != pick && jobs_[running].alive) {
+      ++stats_.preemptions;
+      record(now, TraceKind::kPreempt, jobs_[running].task,
+             jobs_[running].id);
+    }
+    if (running != pick) {
+      record(now, TraceKind::kStart, jobs_[pick].task, jobs_[pick].id,
+             static_cast<std::uint32_t>(jobs_[pick].faults + 1));
+    }
+    running = pick;
+
+    const Tick completion = now + jobs_[pick].remaining;
+    Tick next_rel = kNever;
+    if (!release_queue_.empty()) next_rel = release_queue_.front().time;
+    const Tick until = std::min({completion, next_rel, config_.horizon});
+
+    stats_.busy_time += until - now;
+    jobs_[pick].remaining -= until - now;
+    now = until;
+    if (now >= config_.horizon) break;
+
+    if (jobs_[pick].remaining == 0) {
+      finish_segment(pick, now);
+      if (!jobs_[pick].alive) running = kNoJob;
+    }
+    pop_due_releases(now);
+  }
+  return stats_;
+}
+
+double Simulator::empirical_pfh(const SimStats& stats,
+                                CritLevel level) const {
+  const double hours = stats.simulated_hours();
+  FTMC_EXPECTS(hours > 0.0, "empirical PFH needs a positive horizon");
+  std::uint64_t failures = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].crit == level) {
+      failures += stats.per_task[i].temporal_failures();
+    }
+  }
+  return static_cast<double>(failures) / hours;
+}
+
+SimStats simulate(const core::FtTaskSet& ts, int n_hi, int n_lo,
+                  int n_adapt_hi, double virtual_deadline_factor,
+                  const SimConfig& config) {
+  Simulator sim(build_sim_tasks(ts, n_hi, n_lo, n_adapt_hi,
+                                virtual_deadline_factor),
+                config);
+  return sim.run();
+}
+
+}  // namespace ftmc::sim

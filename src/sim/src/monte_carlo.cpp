@@ -1,0 +1,74 @@
+#include "ftmc/sim/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::sim {
+namespace {
+
+double wilson_center(double p, double n, double z) {
+  return (p + z * z / (2.0 * n)) / (1.0 + z * z / n);
+}
+
+double wilson_halfwidth(double p, double n, double z) {
+  return (z / (1.0 + z * z / n)) *
+         std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+}
+
+}  // namespace
+
+double BinomialEstimate::wilson_lower(double z) const {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = rate();
+  return std::max(0.0, wilson_center(p, n, z) - wilson_halfwidth(p, n, z));
+}
+
+double BinomialEstimate::wilson_upper(double z) const {
+  if (trials == 0) return 1.0;
+  const double n = static_cast<double>(trials);
+  const double p = rate();
+  return std::min(1.0, wilson_center(p, n, z) + wilson_halfwidth(p, n, z));
+}
+
+MonteCarloResult monte_carlo_campaign(const std::vector<SimTask>& tasks,
+                                      SimConfig config,
+                                      const MonteCarloOptions& options) {
+  FTMC_EXPECTS(options.missions > 0, "need at least one mission");
+  FTMC_EXPECTS(options.mission_length > 0,
+               "mission length must be positive");
+
+  MonteCarloResult out;
+  config.horizon = options.mission_length;
+
+  std::uint64_t failures_hi = 0;
+  std::uint64_t failures_lo = 0;
+  for (int m = 0; m < options.missions; ++m) {
+    config.seed = options.seed + static_cast<std::uint64_t>(m);
+    Simulator sim(tasks, config);
+    const SimStats stats = sim.run();
+
+    ++out.trigger.trials;
+    if (stats.mode_switches > 0) ++out.trigger.successes;
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskStats& t = stats.per_task[i];
+      BinomialEstimate& jobs = tasks[i].crit == CritLevel::HI
+                                   ? out.job_failure_hi
+                                   : out.job_failure_lo;
+      jobs.trials += t.released;
+      jobs.successes += t.temporal_failures();
+      (tasks[i].crit == CritLevel::HI ? failures_hi : failures_lo) +=
+          t.temporal_failures();
+    }
+    out.simulated_hours += stats.simulated_hours();
+  }
+  if (out.simulated_hours > 0.0) {
+    out.pfh_hi = static_cast<double>(failures_hi) / out.simulated_hours;
+    out.pfh_lo = static_cast<double>(failures_lo) / out.simulated_hours;
+  }
+  return out;
+}
+
+}  // namespace ftmc::sim

@@ -1,0 +1,63 @@
+/// \file generator.hpp
+/// \brief Random dual-criticality task-set generation (paper Appendix C).
+///
+/// The generator "starts with an empty task set and incrementally adds new
+/// random tasks into this set until certain system utilization U is
+/// reached". Task utilizations are uniform in [u-, u+], periods uniform in
+/// [T-, T+], deadlines implicit, and each task is HI with probability P_HI.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "ftmc/core/ft_task.hpp"
+
+namespace ftmc::taskgen {
+
+/// Deterministic RNG used throughout the experiments.
+using Rng = std::mt19937_64;
+
+/// How periods are drawn from [T-, T+]. The paper's Appendix C draws
+/// uniformly; log-uniform is the other common convention in the RTS
+/// literature (it spreads periods evenly across orders of magnitude,
+/// avoiding the uniform draw's bias toward long periods).
+enum class PeriodDistribution { kUniform, kLogUniform };
+
+/// Parameters of the Appendix C generator. Defaults are the paper's
+/// Fig. 3 settings: u- = 0.01, u+ = 0.2, T- = 200 ms, T+ = 2 s, P_HI = 0.2.
+struct GeneratorParams {
+  double u_min = 0.01;          ///< u-: lower bound on task utilization
+  double u_max = 0.2;           ///< u+: upper bound on task utilization
+  Millis period_min = 200.0;    ///< T- in ms
+  Millis period_max = 2000.0;   ///< T+ in ms
+  PeriodDistribution period_distribution = PeriodDistribution::kUniform;
+  double target_utilization = 0.5;  ///< U: stop once reached
+  double p_hi = 0.2;            ///< P_HI: probability a task is HI
+  double failure_prob = 1e-5;   ///< f: universal per-execution failure prob
+  DualCriticalityMapping mapping{Dal::B, Dal::C};
+  /// The paper's dual-criticality experiments are only meaningful with at
+  /// least one task on each level; when set, degenerate draws are
+  /// rejected and redrawn.
+  bool ensure_both_levels = true;
+  /// Minimum utilization accepted for the final topping-up task; smaller
+  /// remainders are dropped (the achieved U then undershoots the target by
+  /// less than this).
+  double min_fill_utilization = 1e-3;
+
+  void validate() const;
+};
+
+/// Generates one random task set. The last task's utilization is clipped so
+/// the total lands on target_utilization (a common convention that keeps
+/// the x-axis of Fig. 3 exact).
+[[nodiscard]] core::FtTaskSet generate_task_set(const GeneratorParams& params,
+                                                Rng& rng);
+
+/// UUniFast (Bini & Buttazzo): n utilizations summing exactly to U, drawn
+/// uniformly from the simplex. Not used by the paper's generator but handy
+/// for auxiliary tests and ablations. Requires U <= n (per-task u <= 1 is
+/// NOT enforced by classic UUniFast; callers needing that should check).
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total_u,
+                                           Rng& rng);
+
+}  // namespace ftmc::taskgen

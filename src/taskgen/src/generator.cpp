@@ -1,0 +1,101 @@
+#include "ftmc/taskgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::taskgen {
+
+void GeneratorParams::validate() const {
+  FTMC_EXPECTS(0.0 < u_min && u_min < u_max && u_max <= 1.0,
+               "need 0 < u- < u+ <= 1");
+  FTMC_EXPECTS(0.0 < period_min && period_min <= period_max,
+               "need 0 < T- <= T+");
+  FTMC_EXPECTS(target_utilization > 0.0, "target utilization must be > 0");
+  FTMC_EXPECTS(p_hi >= 0.0 && p_hi <= 1.0, "P_HI must be a probability");
+  FTMC_EXPECTS(failure_prob >= 0.0 && failure_prob < 1.0,
+               "failure probability must be in [0,1)");
+  FTMC_EXPECTS(mapping.valid(), "invalid dual-criticality mapping");
+  FTMC_EXPECTS(min_fill_utilization > 0.0,
+               "minimum fill utilization must be > 0");
+}
+
+namespace {
+
+core::FtTaskSet draw_once(const GeneratorParams& p, Rng& rng) {
+  std::uniform_real_distribution<double> u_dist(p.u_min, p.u_max);
+  std::uniform_real_distribution<double> t_dist(p.period_min, p.period_max);
+  std::uniform_real_distribution<double> log_t_dist(
+      std::log(p.period_min), std::log(p.period_max));
+  std::bernoulli_distribution hi_dist(p.p_hi);
+  const auto draw_period = [&]() {
+    return p.period_distribution == PeriodDistribution::kUniform
+               ? t_dist(rng)
+               : std::exp(log_t_dist(rng));
+  };
+
+  core::FtTaskSet ts({}, p.mapping);
+  double total_u = 0.0;
+  int index = 0;
+  while (total_u < p.target_utilization) {
+    double u = u_dist(rng);
+    const double remaining = p.target_utilization - total_u;
+    if (u > remaining) {
+      // Clip the final task so the set lands exactly on the target; drop
+      // negligible remainders instead of creating a near-zero task.
+      if (remaining < p.min_fill_utilization) break;
+      u = remaining;
+    }
+    core::FtTask task;
+    task.name = "tau" + std::to_string(++index);
+    task.period = draw_period();
+    task.deadline = task.period;  // implicit deadlines (Appendix C)
+    task.wcet = u * task.period;
+    task.dal = hi_dist(rng) ? p.mapping.hi : p.mapping.lo;
+    task.failure_prob = p.failure_prob;
+    total_u += u;
+    ts.add(std::move(task));
+  }
+  return ts;
+}
+
+}  // namespace
+
+core::FtTaskSet generate_task_set(const GeneratorParams& params, Rng& rng) {
+  params.validate();
+  // Rejection-sample degenerate draws (all-HI / all-LO) when requested;
+  // with P_HI = 0.2 and U >= 0.4 this triggers rarely, so the utilization
+  // distribution is essentially unaffected.
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    core::FtTaskSet ts = draw_once(params, rng);
+    if (!params.ensure_both_levels ||
+        (ts.count(CritLevel::HI) > 0 && ts.count(CritLevel::LO) > 0)) {
+      ts.validate();
+      return ts;
+    }
+  }
+  FTMC_ENSURES(false,
+               "task generator failed to produce both criticality levels; "
+               "check P_HI and the target utilization");
+  return core::FtTaskSet{};
+}
+
+std::vector<double> uunifast(std::size_t n, double total_u, Rng& rng) {
+  FTMC_EXPECTS(n > 0, "uunifast requires at least one task");
+  FTMC_EXPECTS(total_u > 0.0, "uunifast requires positive utilization");
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> out(n);
+  double sum = total_u;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(unit(rng), 1.0 / static_cast<double>(n - 1 - i));
+    out[i] = sum - next;
+    sum = next;
+  }
+  out[n - 1] = sum;
+  return out;
+}
+
+}  // namespace ftmc::taskgen

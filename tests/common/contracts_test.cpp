@@ -1,0 +1,42 @@
+#include "ftmc/common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftmc {
+namespace {
+
+TEST(Contracts, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(FTMC_EXPECTS(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Contracts, FailingConditionThrowsContractViolation) {
+  EXPECT_THROW(FTMC_EXPECTS(false, "always fails"), ContractViolation);
+}
+
+TEST(Contracts, MessageContainsContextAndExpression) {
+  try {
+    FTMC_EXPECTS(2 < 1, "two is not less than one");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ContractViolationIsLogicError) {
+  // Callers may catch std::logic_error to distinguish model errors from
+  // environmental failures.
+  EXPECT_THROW(FTMC_EXPECTS(false, "x"), std::logic_error);
+}
+
+TEST(Contracts, EnsuresBehavesLikeExpects) {
+  EXPECT_NO_THROW(FTMC_ENSURES(true, "ok"));
+  EXPECT_THROW(FTMC_ENSURES(false, "bad"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc

@@ -1,0 +1,79 @@
+#include "ftmc/common/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftmc {
+namespace {
+
+TEST(Criticality, DalOrderingAIsMostCritical) {
+  EXPECT_TRUE(more_critical(Dal::A, Dal::B));
+  EXPECT_TRUE(more_critical(Dal::B, Dal::C));
+  EXPECT_TRUE(more_critical(Dal::C, Dal::D));
+  EXPECT_TRUE(more_critical(Dal::D, Dal::E));
+  EXPECT_TRUE(more_critical(Dal::A, Dal::E));
+  EXPECT_FALSE(more_critical(Dal::E, Dal::A));
+  EXPECT_FALSE(more_critical(Dal::B, Dal::B));
+}
+
+TEST(Criticality, SafetyRelatedLevels) {
+  // DO-178B: A, B, C carry quantified requirements; D and E do not
+  // (paper Sec. 2.1).
+  EXPECT_TRUE(is_safety_related(Dal::A));
+  EXPECT_TRUE(is_safety_related(Dal::B));
+  EXPECT_TRUE(is_safety_related(Dal::C));
+  EXPECT_FALSE(is_safety_related(Dal::D));
+  EXPECT_FALSE(is_safety_related(Dal::E));
+}
+
+TEST(Criticality, DalRoundTripThroughStrings) {
+  for (const Dal dal : kAllDals) {
+    const auto parsed = parse_dal(to_string(dal));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, dal);
+  }
+}
+
+TEST(Criticality, ParseDalIsCaseInsensitive) {
+  EXPECT_EQ(parse_dal("a"), Dal::A);
+  EXPECT_EQ(parse_dal("b"), Dal::B);
+  EXPECT_EQ(parse_dal("E"), Dal::E);
+}
+
+TEST(Criticality, ParseDalRejectsGarbage) {
+  EXPECT_FALSE(parse_dal("").has_value());
+  EXPECT_FALSE(parse_dal("F").has_value());
+  EXPECT_FALSE(parse_dal("AB").has_value());
+  EXPECT_FALSE(parse_dal("1").has_value());
+}
+
+TEST(Criticality, ParseCritLevel) {
+  EXPECT_EQ(parse_crit_level("HI"), CritLevel::HI);
+  EXPECT_EQ(parse_crit_level("lo"), CritLevel::LO);
+  EXPECT_EQ(parse_crit_level("high"), CritLevel::HI);
+  EXPECT_EQ(parse_crit_level("LOW"), CritLevel::LO);
+  EXPECT_FALSE(parse_crit_level("MED").has_value());
+}
+
+TEST(Criticality, StreamOutput) {
+  std::ostringstream os;
+  os << Dal::B << "/" << CritLevel::HI << "/" << CritLevel::LO;
+  EXPECT_EQ(os.str(), "B/HI/LO");
+}
+
+TEST(DualCriticalityMapping, ValidRequiresStrictOrder) {
+  EXPECT_TRUE((DualCriticalityMapping{Dal::B, Dal::C}).valid());
+  EXPECT_TRUE((DualCriticalityMapping{Dal::A, Dal::E}).valid());
+  EXPECT_FALSE((DualCriticalityMapping{Dal::C, Dal::C}).valid());
+  EXPECT_FALSE((DualCriticalityMapping{Dal::D, Dal::B}).valid());
+}
+
+TEST(DualCriticalityMapping, DalOfRoles) {
+  const DualCriticalityMapping m{Dal::B, Dal::D};
+  EXPECT_EQ(m.dal_of(CritLevel::HI), Dal::B);
+  EXPECT_EQ(m.dal_of(CritLevel::LO), Dal::D);
+}
+
+}  // namespace
+}  // namespace ftmc

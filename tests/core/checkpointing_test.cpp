@@ -1,0 +1,164 @@
+#include "ftmc/core/checkpointing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::core {
+namespace {
+
+FtTask make(Millis t, Millis c, double f) {
+  return {"x", t, t, c, Dal::B, f};
+}
+
+TEST(CheckpointScheme, ValidateRejectsMalformed) {
+  EXPECT_THROW((CheckpointScheme{0, 1, 0.0}).validate(), ContractViolation);
+  EXPECT_THROW((CheckpointScheme{2, -1, 0.0}).validate(),
+               ContractViolation);
+  EXPECT_THROW((CheckpointScheme{2, 1, 1.0}).validate(), ContractViolation);
+  EXPECT_NO_THROW((CheckpointScheme{4, 3, 0.05}).validate());
+}
+
+TEST(CheckpointedWcet, DegeneratesToReexecution) {
+  // k = 1, o = 0, R = n-1 -> budget (R+1)*C, exactly re-execution.
+  const FtTask t = make(100, 10, 1e-5);
+  EXPECT_DOUBLE_EQ(checkpointed_wcet(t, {1, 2, 0.0}), 30.0);  // n = 3
+  EXPECT_DOUBLE_EQ(checkpointed_wcet(t, {1, 0, 0.0}), 10.0);  // n = 1
+}
+
+TEST(CheckpointedWcet, SegmentsShrinkRetryCost) {
+  const FtTask t = make(100, 12, 1e-5);
+  // k = 4, o = 0, R = 2: 12 + 2 * 3 = 18, vs re-execution's 36 at n = 3.
+  EXPECT_DOUBLE_EQ(checkpointed_wcet(t, {4, 2, 0.0}), 18.0);
+}
+
+TEST(CheckpointedWcet, OverheadCharged) {
+  const FtTask t = make(100, 10, 1e-5);
+  // k = 2, o = 0.1: base 10 + 2*1 = 12; R = 1 retry: 5 + 1 = 6 -> 18.
+  EXPECT_DOUBLE_EQ(checkpointed_wcet(t, {2, 1, 0.1}), 18.0);
+}
+
+TEST(SegmentFailureProb, ComposesBackToF) {
+  // (1 - f_seg)^k == 1 - f.
+  for (const double f : {1e-2, 1e-4, 1e-6}) {
+    for (const int k : {1, 2, 4, 8}) {
+      const double q = segment_failure_prob(f, k);
+      EXPECT_NEAR(std::pow(1.0 - q, k), 1.0 - f, 1e-12) << f << " " << k;
+    }
+  }
+}
+
+TEST(SegmentFailureProb, OneSegmentIsF) {
+  EXPECT_DOUBLE_EQ(segment_failure_prob(0.25, 1), 0.25);
+  EXPECT_DOUBLE_EQ(segment_failure_prob(0.0, 4), 0.0);
+}
+
+TEST(JobFailureProb, DegeneratesToReexecutionPower) {
+  // k = 1, R = n-1: P(fail) = f^n exactly.
+  for (const double f : {1e-2, 1e-5}) {
+    for (const int n : {1, 2, 3, 4}) {
+      const double p =
+          checkpointed_job_failure_prob(f, {1, n - 1, 0.0});
+      EXPECT_NEAR(p, prob::pow_prob(f, n), prob::pow_prob(f, n) * 1e-9)
+          << f << " n=" << n;
+    }
+  }
+}
+
+TEST(JobFailureProb, MatchesDirectEnumerationSmallCase) {
+  // k = 2, R = 1, q computable: fail iff >= 2 faults among first 3
+  // attempts: 3 q^2 (1-q) + q^3.
+  const double f = 0.19;  // q = 1 - sqrt(0.81) = 0.1
+  const double q = segment_failure_prob(f, 2);
+  ASSERT_NEAR(q, 0.1, 1e-12);
+  const double expected = 3 * q * q * (1 - q) + q * q * q;
+  EXPECT_NEAR(checkpointed_job_failure_prob(f, {2, 1, 0.0}), expected,
+              1e-12);
+}
+
+TEST(JobFailureProb, MonotoneInRetryBudget) {
+  for (const int k : {1, 2, 4}) {
+    double prev = 1.0;
+    for (int r = 0; r <= 6; ++r) {
+      const double p = checkpointed_job_failure_prob(1e-3, {k, r, 0.0});
+      EXPECT_LT(p, prev) << "k=" << k << " r=" << r;
+      prev = p;
+    }
+  }
+}
+
+TEST(JobFailureProb, ZeroFaultRateIsZero) {
+  EXPECT_DOUBLE_EQ(checkpointed_job_failure_prob(0.0, {4, 2, 0.05}), 0.0);
+}
+
+TEST(JobFailureProb, TinyProbabilitiesSurviveLogDomain) {
+  // f = 1e-6, k = 2, R = 4: q ~ 5e-7; fail needs 5 faults in 6 attempts
+  // ~ C(6,5) q^5 ~ 1.9e-31 — representable and positive.
+  const double p = checkpointed_job_failure_prob(1e-6, {2, 4, 0.0});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-29);
+}
+
+TEST(MinRetryBudget, FindsMinimal) {
+  const FtTask t = make(100, 10, 1e-3);
+  // Target 1e-8: k=1 -> f^n < 1e-8 needs n = 3 i.e. R = 2.
+  const auto r = min_retry_budget(t, 1, 0.0, 1e-8);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 2);
+  // More segments raise q per segment, so the budget can grow, but the
+  // retry *cost* shrinks; the budget search itself stays monotone.
+  const auto r4 = min_retry_budget(t, 4, 0.0, 1e-8);
+  ASSERT_TRUE(r4.has_value());
+  EXPECT_GE(*r4, *r);
+}
+
+TEST(MinRetryBudget, ImpossibleTargetReturnsNullopt) {
+  FtTask t = make(100, 10, 0.5);
+  EXPECT_FALSE(min_retry_budget(t, 1, 0.0, 1e-300, 4).has_value());
+}
+
+TEST(PfhCheckpointed, MatchesReexecutionInDegenerateCase) {
+  FtTaskSet ts({make(60, 5, 1e-5), make(25, 4, 1e-5)}, {Dal::B, Dal::C});
+  // k = 1, R = 2 <=> n = 3 re-execution: pfh(HI) = 2.04e-10 (Example 3.1
+  // HI tasks).
+  const std::vector<CheckpointScheme> schemes(2, {1, 2, 0.0});
+  EXPECT_NEAR(pfh_plain_checkpointed(ts, schemes, CritLevel::HI), 2.04e-10,
+              1e-14);
+}
+
+TEST(PfhCheckpointed, SegmentationReducesUtilizationAtEqualSafety) {
+  // The headline property: at comparable safety, checkpointing (k = 4)
+  // needs a smaller worst-case budget than re-execution (k = 1).
+  FtTaskSet ts({make(60, 5, 1e-4), make(25, 4, 1e-4)}, {Dal::B, Dal::C});
+  const double target = 1e-12;  // per-job failure target
+
+  std::vector<CheckpointScheme> reexec, ckpt;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    reexec.push_back({1, *min_retry_budget(ts[i], 1, 0.0, target), 0.0});
+    ckpt.push_back({4, *min_retry_budget(ts[i], 4, 0.0, target), 0.0});
+  }
+  const double u_reexec =
+      utilization_checkpointed(ts, reexec, CritLevel::HI);
+  const double u_ckpt = utilization_checkpointed(ts, ckpt, CritLevel::HI);
+  EXPECT_LT(u_ckpt, u_reexec);
+  // And both meet the safety target.
+  EXPECT_LT(pfh_plain_checkpointed(ts, reexec, CritLevel::HI), 1e-5);
+  EXPECT_LT(pfh_plain_checkpointed(ts, ckpt, CritLevel::HI), 1e-5);
+}
+
+TEST(UtilizationCheckpointed, SumsOnlyRequestedLevel) {
+  FtTaskSet ts({make(100, 10, 1e-5),
+                {"lo", 50, 50, 5, Dal::C, 1e-5}},
+               {Dal::B, Dal::C});
+  const std::vector<CheckpointScheme> schemes(2, {1, 0, 0.0});
+  EXPECT_DOUBLE_EQ(utilization_checkpointed(ts, schemes, CritLevel::HI),
+                   0.1);
+  EXPECT_DOUBLE_EQ(utilization_checkpointed(ts, schemes, CritLevel::LO),
+                   0.1);
+}
+
+}  // namespace
+}  // namespace ftmc::core

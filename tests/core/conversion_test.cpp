@@ -1,0 +1,116 @@
+#include "ftmc/core/conversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+
+namespace ftmc::core {
+namespace {
+
+FtTask make(const std::string& name, Millis t, Millis c, Dal dal,
+            double f = 1e-5) {
+  return {name, t, t, c, dal, f};
+}
+
+FtTaskSet example31() {
+  return FtTaskSet({make("tau1", 60, 5, Dal::B), make("tau2", 25, 4, Dal::B),
+                    make("tau3", 40, 7, Dal::D), make("tau4", 90, 6, Dal::D),
+                    make("tau5", 70, 8, Dal::D)},
+                   {Dal::B, Dal::D});
+}
+
+TEST(Conversion, ReproducesPaperTable3) {
+  // Example 4.1: n_HI = 3, n'_HI = 2, n_LO = 1 yields Table 3.
+  const mcs::McTaskSet mc = convert_to_mc(example31(), 3, 1, 2);
+  ASSERT_EQ(mc.size(), 5u);
+
+  EXPECT_EQ(mc[0].crit, CritLevel::HI);
+  EXPECT_DOUBLE_EQ(mc[0].wcet_hi, 15.0);  // 3 * 5
+  EXPECT_DOUBLE_EQ(mc[0].wcet_lo, 10.0);  // 2 * 5
+  EXPECT_EQ(mc[1].crit, CritLevel::HI);
+  EXPECT_DOUBLE_EQ(mc[1].wcet_hi, 12.0);  // 3 * 4
+  EXPECT_DOUBLE_EQ(mc[1].wcet_lo, 8.0);   // 2 * 4
+
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(mc[i].crit, CritLevel::LO);
+    EXPECT_DOUBLE_EQ(mc[i].wcet_hi, mc[i].wcet_lo);
+  }
+  EXPECT_DOUBLE_EQ(mc[2].wcet_lo, 7.0);
+  EXPECT_DOUBLE_EQ(mc[3].wcet_lo, 6.0);
+  EXPECT_DOUBLE_EQ(mc[4].wcet_lo, 8.0);
+}
+
+TEST(Conversion, Table3IsEdfVdSchedulable) {
+  // The punchline of Example 4.1: the converted set passes EDF-VD.
+  const mcs::McTaskSet mc = convert_to_mc(example31(), 3, 1, 2);
+  EXPECT_TRUE(mcs::EdfVdTest{}.schedulable(mc));
+}
+
+TEST(Conversion, PreservesTimingAndNames) {
+  const FtTaskSet ts = example31();
+  const mcs::McTaskSet mc = convert_to_mc(ts, 3, 1, 2);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(mc[i].name, ts[i].name);
+    EXPECT_DOUBLE_EQ(mc[i].period, ts[i].period);
+    EXPECT_DOUBLE_EQ(mc[i].deadline, ts[i].deadline);
+  }
+}
+
+TEST(Conversion, LoTasksScaleWithTheirOwnProfile) {
+  const mcs::McTaskSet mc = convert_to_mc(example31(), 3, 2, 1);
+  EXPECT_DOUBLE_EQ(mc[2].wcet_lo, 14.0);  // 2 * 7
+  EXPECT_DOUBLE_EQ(mc[2].wcet_hi, 14.0);
+}
+
+TEST(Conversion, AdaptationZeroGivesZeroLoBudget) {
+  // n' = 0: the switch fires on any HI execution; C(LO) = 0.
+  const mcs::McTaskSet mc = convert_to_mc(example31(), 3, 1, 0);
+  EXPECT_DOUBLE_EQ(mc[0].wcet_lo, 0.0);
+  EXPECT_DOUBLE_EQ(mc[1].wcet_lo, 0.0);
+  EXPECT_NO_THROW(mc.validate());
+}
+
+TEST(Conversion, AdaptationEqualToNMeansNoSwitch) {
+  const mcs::McTaskSet mc = convert_to_mc(example31(), 3, 1, 3);
+  EXPECT_DOUBLE_EQ(mc[0].wcet_lo, mc[0].wcet_hi);
+}
+
+TEST(Conversion, RejectsAdaptationAboveN) {
+  EXPECT_THROW(convert_to_mc(example31(), 3, 1, 4), ContractViolation);
+}
+
+TEST(Conversion, RejectsZeroReexecutionProfile) {
+  EXPECT_THROW(convert_to_mc(example31(), 0, 1, 0), ContractViolation);
+  EXPECT_THROW(convert_to_mc(example31(), 3, 0, 2), ContractViolation);
+}
+
+TEST(Conversion, PerTaskProfilesSupported) {
+  // Heterogeneous profiles (the general Lemma 4.1 form, before the
+  // uniform restriction of Sec. 4.2).
+  const FtTaskSet ts = example31();
+  PerTaskProfile n = {4, 2, 1, 1, 2};
+  PerTaskProfile na = {1, 1, 0, 0, 0};
+  const mcs::McTaskSet mc = convert_to_mc(ts, n, na);
+  EXPECT_DOUBLE_EQ(mc[0].wcet_hi, 20.0);
+  EXPECT_DOUBLE_EQ(mc[0].wcet_lo, 5.0);
+  EXPECT_DOUBLE_EQ(mc[1].wcet_hi, 8.0);
+  EXPECT_DOUBLE_EQ(mc[1].wcet_lo, 4.0);
+  EXPECT_DOUBLE_EQ(mc[4].wcet_hi, 16.0);
+}
+
+TEST(Conversion, ConversionIsConservative) {
+  // Utilization identity: U_HI^HI of the converted set equals
+  // n_HI * U_HI of the original, etc. — the bridge Algorithm 2 exploits.
+  const FtTaskSet ts = example31();
+  const mcs::McTaskSet mc = convert_to_mc(ts, 3, 1, 2);
+  EXPECT_NEAR(mc.utilization(CritLevel::HI, CritLevel::HI),
+              3.0 * ts.utilization(CritLevel::HI), 1e-12);
+  EXPECT_NEAR(mc.utilization(CritLevel::HI, CritLevel::LO),
+              2.0 * ts.utilization(CritLevel::HI), 1e-12);
+  EXPECT_NEAR(mc.utilization(CritLevel::LO, CritLevel::LO),
+              1.0 * ts.utilization(CritLevel::LO), 1e-12);
+}
+
+}  // namespace
+}  // namespace ftmc::core

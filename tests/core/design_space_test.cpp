@@ -1,0 +1,133 @@
+#include "ftmc/core/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/fms/fms.hpp"
+
+namespace ftmc::core {
+namespace {
+
+FtTask make(const std::string& name, Millis t, Millis c, Dal dal,
+            double f = 1e-5) {
+  return {name, t, t, c, dal, f};
+}
+
+FtTaskSet example31(Dal lo = Dal::D) {
+  return FtTaskSet({make("tau1", 60, 5, Dal::B), make("tau2", 25, 4, Dal::B),
+                    make("tau3", 40, 7, lo), make("tau4", 90, 6, lo),
+                    make("tau5", 70, 8, lo)},
+                   {Dal::B, lo});
+}
+
+TEST(DesignSpace, EnumeratesGrid) {
+  DesignSpaceOptions opt;
+  opt.degradation_factors = {2.0, 6.0};
+  opt.segment_counts = {1, 4};
+  const auto points = explore_design_space(example31(), opt);
+  // Per segment count: 1 killing + 2 degradation = 3; two counts = 6.
+  ASSERT_EQ(points.size(), 6u);
+  int killing = 0, degradation = 0;
+  for (const auto& p : points) {
+    if (p.kind == mcs::AdaptationKind::kKilling) ++killing;
+    if (p.kind == mcs::AdaptationKind::kDegradation) ++degradation;
+  }
+  EXPECT_EQ(killing, 2);
+  EXPECT_EQ(degradation, 4);
+}
+
+TEST(DesignSpace, Example31KillingCertifiable) {
+  DesignSpaceOptions opt;
+  opt.segment_counts = {1};
+  const auto points = explore_design_space(example31(), opt);
+  bool found = false;
+  for (const auto& p : points) {
+    if (p.kind == mcs::AdaptationKind::kKilling && p.segments == 1) {
+      EXPECT_TRUE(p.certifiable);
+      EXPECT_EQ(p.n_adapt, 2);
+      EXPECT_DOUBLE_EQ(p.service_quality, 0.0);
+      // LO = D is unconstrained: infinite safety margin.
+      EXPECT_TRUE(std::isinf(p.safety_margin_orders));
+      EXPECT_GT(p.schedulability_margin, 0.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DesignSpace, FmsParetoPrefersDegradation) {
+  // On the FMS (LO = C, O_S = 10 h) killing is never certifiable; every
+  // Pareto point must be a degradation configuration.
+  DesignSpaceOptions opt;
+  opt.os_hours = fms::kFmsOperationHours;
+  opt.degradation_factors = {3.0, 6.0, 12.0};
+  opt.segment_counts = {1};
+  const auto points =
+      explore_design_space(fms::canonical_fms_instance(), opt);
+  const auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (const std::size_t i : front) {
+    EXPECT_EQ(points[i].kind, mcs::AdaptationKind::kDegradation);
+    EXPECT_TRUE(points[i].certifiable);
+  }
+}
+
+TEST(DesignSpace, ParetoExcludesDominatedPoints) {
+  // Construct three synthetic points: b dominates c, a incomparable.
+  DesignPoint a;
+  a.certifiable = true;
+  a.service_quality = 0.5;
+  a.safety_margin_orders = 1.0;
+  a.schedulability_margin = 0.1;
+  DesignPoint b = a;
+  b.service_quality = 0.2;
+  b.safety_margin_orders = 5.0;
+  DesignPoint c = b;
+  c.safety_margin_orders = 4.0;  // dominated by b
+  DesignPoint failed;            // never on the front
+  failed.certifiable = false;
+  failed.service_quality = 9.0;
+
+  const auto front = pareto_front({a, b, c, failed});
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DesignSpace, ServiceQualityDecreasesWithDf) {
+  DesignSpaceOptions opt;
+  opt.degradation_factors = {2.0, 12.0};
+  opt.segment_counts = {1};
+  opt.include_killing = false;
+  const auto points = explore_design_space(example31(), opt);
+  ASSERT_EQ(points.size(), 2u);
+  if (points[0].certifiable && points[1].certifiable) {
+    EXPECT_GT(points[0].service_quality, points[1].service_quality);
+  }
+}
+
+TEST(DesignSpace, CheckpointedPointsEvaluated) {
+  DesignSpaceOptions opt;
+  opt.segment_counts = {4};
+  opt.degradation_factors = {6.0};
+  const auto points = explore_design_space(example31(), opt);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.segments, 4);
+    if (p.certifiable) {
+      EXPECT_GE(p.u_mc, 0.0);
+      EXPECT_LE(p.u_mc, 1.0);
+    }
+  }
+}
+
+TEST(DesignSpace, RejectsBadGrid) {
+  DesignSpaceOptions opt;
+  opt.segment_counts = {};
+  EXPECT_THROW((void)explore_design_space(example31(), opt),
+               ContractViolation);
+  opt = DesignSpaceOptions{};
+  opt.degradation_factors = {0.5};
+  EXPECT_THROW((void)explore_design_space(example31(), opt),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::core

@@ -1,0 +1,84 @@
+#include "ftmc/core/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::core {
+namespace {
+
+TEST(FaultModel, ZeroRateNeverFails) {
+  EXPECT_DOUBLE_EQ(attempt_failure_prob(0.0, 10.0), 0.0);
+}
+
+TEST(FaultModel, LinearRegimeForSmallRates) {
+  // lambda * C << 1: f ~ lambda * C. 1 fault/hour, 3.6 ms job:
+  // f ~ 3.6 / 3.6e6 = 1e-6.
+  EXPECT_NEAR(attempt_failure_prob(1.0, 3.6), 1e-6, 1e-12);
+}
+
+TEST(FaultModel, SaturatesForLongJobs) {
+  // 1000 faults/hour, 1 hour job: f = 1 - e^-1000 ~ 1.
+  EXPECT_NEAR(attempt_failure_prob(1000.0, kMillisPerHour), 1.0, 1e-12);
+}
+
+TEST(FaultModel, RoundTripRateProbability) {
+  for (const double lambda : {1e-3, 1.0, 100.0}) {
+    for (const Millis c : {0.5, 5.0, 50.0}) {
+      const double f = attempt_failure_prob(lambda, c);
+      EXPECT_NEAR(faults_per_hour_from_prob(f, c), lambda,
+                  lambda * 1e-9);
+    }
+  }
+}
+
+TEST(FaultModel, PaperUniformFEquivalentRate) {
+  // f = 1e-5 on a 5 ms task corresponds to ~7.2 faults/hour; the same
+  // rate on a 4 ms task gives a proportionally smaller f.
+  const double lambda = faults_per_hour_from_prob(1e-5, 5.0);
+  EXPECT_NEAR(lambda, 1e-5 / 5.0 * kMillisPerHour, lambda * 1e-4);
+  EXPECT_NEAR(attempt_failure_prob(lambda, 4.0), 0.8e-5, 1e-10);
+}
+
+TEST(FaultModel, MonotoneInBothArguments) {
+  double prev = 0.0;
+  for (const double lambda : {0.1, 1.0, 10.0, 100.0}) {
+    const double f = attempt_failure_prob(lambda, 10.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  prev = 0.0;
+  for (const Millis c : {1.0, 10.0, 100.0, 1000.0}) {
+    const double f = attempt_failure_prob(10.0, c);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FaultModel, DeriveAssignsLengthProportionalProbs) {
+  FtTaskSet ts({FtTask{"short", 100, 100, 2, Dal::B, 0.0},
+                FtTask{"long", 100, 100, 20, Dal::C, 0.0}},
+               {Dal::B, Dal::C});
+  const FtTaskSet derived = derive_failure_probs(ts, 36.0);
+  // 36 faults/hour = 1e-5 per ms: f(short) ~ 2e-5, f(long) ~ 2e-4 (the
+  // exponential second-order term -lambda^2 C^2/2 shaves ~1e-4 relative).
+  EXPECT_NEAR(derived[0].failure_prob, 2e-5, 2e-10);
+  EXPECT_NEAR(derived[1].failure_prob, 2e-4, 2e-8);
+  EXPECT_GT(derived[1].failure_prob, derived[0].failure_prob);
+  // Original untouched (value semantics).
+  EXPECT_DOUBLE_EQ(ts[0].failure_prob, 0.0);
+}
+
+TEST(FaultModel, RejectsBadArguments) {
+  EXPECT_THROW((void)attempt_failure_prob(-1.0, 10.0), ContractViolation);
+  EXPECT_THROW((void)attempt_failure_prob(1.0, 0.0), ContractViolation);
+  EXPECT_THROW((void)faults_per_hour_from_prob(1.0, 10.0),
+               ContractViolation);
+  EXPECT_THROW((void)faults_per_hour_from_prob(-0.1, 10.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::core

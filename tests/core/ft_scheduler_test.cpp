@@ -1,0 +1,241 @@
+#include "ftmc/core/ft_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/mcs/fixed_priority.hpp"
+
+namespace ftmc::core {
+namespace {
+
+FtTask make(const std::string& name, Millis t, Millis c, Dal dal,
+            double f = 1e-5) {
+  return {name, t, t, c, dal, f};
+}
+
+FtTaskSet example31(Dal lo = Dal::D) {
+  return FtTaskSet({make("tau1", 60, 5, Dal::B), make("tau2", 25, 4, Dal::B),
+                    make("tau3", 40, 7, lo), make("tau4", 90, 6, lo),
+                    make("tau5", 70, 8, lo)},
+                   {Dal::B, lo});
+}
+
+FtsConfig killing_config() {
+  FtsConfig cfg;
+  cfg.adaptation.kind = mcs::AdaptationKind::kKilling;
+  cfg.adaptation.os_hours = 1.0;
+  return cfg;
+}
+
+TEST(FtSchedule, Example31SucceedsWithKilling) {
+  // The end-to-end story of Examples 3.1/4.1: unschedulable without
+  // adaptation, schedulable by FT-EDF-VD with killing.
+  const FtsResult r = ft_schedule(example31(), killing_config());
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.failure, FtsFailure::kNone);
+  EXPECT_EQ(r.n_hi, 3);
+  EXPECT_EQ(r.n_lo, 1);
+  EXPECT_FALSE(r.feasible_without_adaptation);  // U = 1.08595 > 1
+  ASSERT_TRUE(r.n1_hi.has_value());
+  EXPECT_EQ(*r.n1_hi, 0);  // level D tasks: killing is free
+  ASSERT_TRUE(r.n2_hi.has_value());
+  EXPECT_EQ(r.n_adapt, *r.n2_hi);
+  EXPECT_LE(r.u_mc, 1.0);
+  EXPECT_NEAR(r.pfh_hi, 2.04e-10, 1e-14);
+  EXPECT_EQ(r.scheduler_name, "EDF-VD");
+  EXPECT_EQ(r.converted.size(), 5u);
+}
+
+TEST(FtSchedule, Example31ChoosesMaximalSchedulableAdaptation) {
+  const FtsResult r = ft_schedule(example31(), killing_config());
+  ASSERT_TRUE(r.success);
+  // Theorem 4.1 argument: n' = n2 is schedulable, n2 + 1 is not (or is
+  // capped at n_hi).
+  const double u_hi = example31().utilization(CritLevel::HI);
+  const double u_lo = example31().utilization(CritLevel::LO);
+  EXPECT_LE(umc_closed_form(u_hi, u_lo, r.n_hi, r.n_lo, r.n_adapt,
+                            mcs::AdaptationKind::kKilling, 1.0),
+            1.0);
+  if (r.n_adapt < r.n_hi) {
+    EXPECT_GT(umc_closed_form(u_hi, u_lo, r.n_hi, r.n_lo, r.n_adapt + 1,
+                              mcs::AdaptationKind::kKilling, 1.0),
+              1.0);
+  }
+}
+
+TEST(FtSchedule, Example31WithPaperKillingProfile) {
+  // The paper's narrative kills LO tasks "when any HI criticality task
+  // instance executes a third time", i.e. n' = 2, and shows Table 3
+  // schedulable. Our maximal search must find at least that.
+  const FtsResult r = ft_schedule(example31(), killing_config());
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.n_adapt, 2);
+}
+
+TEST(FtSchedule, ClosedFormAndGenericSearchAgree) {
+  FtsConfig closed = killing_config();
+  closed.use_closed_form_umc = true;
+  FtsConfig generic = killing_config();
+  generic.use_closed_form_umc = false;
+
+  for (const Dal lo : {Dal::D, Dal::C}) {
+    const FtTaskSet ts = example31(lo);
+    const FtsResult a = ft_schedule(ts, closed);
+    const FtsResult b = ft_schedule(ts, generic);
+    EXPECT_EQ(a.success, b.success) << "LO = " << to_string(lo);
+    if (a.success) {
+      EXPECT_EQ(a.n_adapt, b.n_adapt);
+      EXPECT_EQ(a.n_hi, b.n_hi);
+    }
+  }
+}
+
+TEST(FtSchedule, LevelCKillingFailsOnSafety) {
+  // With LO = C and a long mission, killing violates pfh(LO) for every
+  // schedulable adaptation profile — the Fig. 3b finding.
+  FtsConfig cfg = killing_config();
+  cfg.adaptation.os_hours = 10.0;
+  const FtsResult r = ft_schedule(example31(Dal::C), cfg);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.failure == FtsFailure::kAdaptationUnsafe ||
+              r.failure == FtsFailure::kUnschedulable);
+}
+
+TEST(FtSchedule, Example31AtLevelCIsInfeasibleEvenWithDegradation) {
+  // With LO = C the level C tasks themselves need n_LO = 3 (their plain
+  // PFH at n = 2 is 1.8e-5 > 1e-5), which pushes U_LO^LO = 3 * 0.356 above
+  // 1: no adaptation can help. FT-S must report this, not mis-succeed.
+  FtsConfig cfg;
+  cfg.adaptation.kind = mcs::AdaptationKind::kDegradation;
+  cfg.adaptation.degradation_factor = 6.0;
+  cfg.adaptation.os_hours = 10.0;
+  const FtsResult r = ft_schedule(example31(Dal::C), cfg);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FtsFailure::kUnschedulable);
+  EXPECT_EQ(r.n_lo, 3);
+}
+
+TEST(FtSchedule, LevelCDegradationCanSucceed) {
+  // A lighter variant of Example 3.1 (LO WCETs halved): level C safety
+  // forces n_LO = 3, and degradation makes the system schedulable where
+  // the worst case (3 * U_HI + 3 * U_LO = 1.264) is not.
+  FtTaskSet ts({make("tau1", 60, 5, Dal::B), make("tau2", 25, 4, Dal::B),
+                make("tau3", 40, 3.5, Dal::C), make("tau4", 90, 3, Dal::C),
+                make("tau5", 70, 4, Dal::C)},
+               {Dal::B, Dal::C});
+  FtsConfig cfg;
+  cfg.adaptation.kind = mcs::AdaptationKind::kDegradation;
+  cfg.adaptation.degradation_factor = 6.0;
+  cfg.adaptation.os_hours = 10.0;
+  const FtsResult r = ft_schedule(ts, cfg);
+  ASSERT_TRUE(r.success) << to_string(r.failure);
+  EXPECT_FALSE(r.feasible_without_adaptation);
+  EXPECT_LT(r.pfh_lo, 1e-5);
+  EXPECT_NE(r.scheduler_name.find("degradation"), std::string::npos);
+}
+
+TEST(FtSchedule, PreferNoAdaptationShortcut) {
+  // A light system: worst-case EDF fits, so with the Appendix C policy no
+  // adaptation is used at all.
+  FtTaskSet ts({make("h", 100, 2, Dal::B), make("l", 100, 5, Dal::C)},
+               {Dal::B, Dal::C});
+  FtsConfig cfg = killing_config();
+  cfg.prefer_no_adaptation = true;
+  const FtsResult r = ft_schedule(ts, cfg);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.feasible_without_adaptation);
+  EXPECT_EQ(r.n_adapt, r.n_hi);  // mode switch can never fire
+  EXPECT_EQ(r.scheduler_name, "EDF(worst-case)");
+}
+
+TEST(FtSchedule, HopelesslyOverloadedFailsUnschedulable) {
+  // LO = D so that safety is trivially met and the failure is purely a
+  // schedulability one (U_HI^HI alone is 2.4).
+  FtTaskSet ts({make("h1", 10, 4, Dal::B), make("h2", 10, 4, Dal::B),
+                make("l", 10, 4, Dal::D)},
+               {Dal::B, Dal::D});
+  const FtsResult r = ft_schedule(ts, killing_config());
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FtsFailure::kUnschedulable);
+}
+
+TEST(FtSchedule, SafetyGateFiresBeforeSchedulability) {
+  // Same load with LO = C: the killing bound can never meet 1e-5, so the
+  // failure is reported as adaptation-unsafe (Algorithm 1 line 5-7).
+  FtTaskSet ts({make("h1", 10, 4, Dal::B), make("h2", 10, 4, Dal::B),
+                make("l", 10, 4, Dal::C)},
+               {Dal::B, Dal::C});
+  const FtsResult r = ft_schedule(ts, killing_config());
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FtsFailure::kAdaptationUnsafe);
+}
+
+TEST(FtSchedule, ImpossibleSafetyFailsEarly) {
+  FtTaskSet ts({make("h", 100, 10, Dal::A, 0.9), make("l", 100, 1, Dal::E)},
+               {Dal::A, Dal::E});
+  const FtsResult r = ft_schedule(ts, killing_config());
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FtsFailure::kHiSafetyInfeasible);
+}
+
+TEST(FtSchedule, CustomSchedulerViaInterface) {
+  // FT-S is generic: plug AMC-rtb in as S (Appendix B remark). The
+  // converted sets are implicit-deadline, hence constrained, so the RTA
+  // applies.
+  FtsConfig cfg = killing_config();
+  cfg.test = std::make_shared<const mcs::AmcRtbTest>();
+  cfg.use_closed_form_umc = false;
+  const FtsResult r = ft_schedule(example31(), cfg);
+  EXPECT_EQ(r.scheduler_name, "AMC-rtb");
+  // AMC-rtb may or may not admit the same profile as EDF-VD; what must
+  // hold is internal consistency on success.
+  if (r.success) {
+    EXPECT_TRUE(mcs::AmcRtbTest{}.schedulable(r.converted));
+  }
+}
+
+TEST(FtSchedule, FailureToString) {
+  EXPECT_EQ(to_string(FtsFailure::kNone), "none");
+  EXPECT_EQ(to_string(FtsFailure::kHiSafetyInfeasible),
+            "HI-safety-infeasible");
+  EXPECT_EQ(to_string(FtsFailure::kLoSafetyInfeasible),
+            "LO-safety-infeasible");
+  EXPECT_EQ(to_string(FtsFailure::kAdaptationUnsafe), "adaptation-unsafe");
+  EXPECT_EQ(to_string(FtsFailure::kUnschedulable), "unschedulable");
+}
+
+TEST(UmcClosedForm, MatchesConvertedSetAnalysis) {
+  // The Algorithm 2 fast path must agree with analyzing Gamma directly.
+  const FtTaskSet ts = example31();
+  const double u_hi = ts.utilization(CritLevel::HI);
+  const double u_lo = ts.utilization(CritLevel::LO);
+  for (int n_adapt = 0; n_adapt <= 3; ++n_adapt) {
+    const double closed = umc_closed_form(u_hi, u_lo, 3, 1, n_adapt,
+                                          mcs::AdaptationKind::kKilling, 1.0);
+    const auto direct =
+        mcs::analyze_edf_vd(convert_to_mc(ts, 3, 1, n_adapt));
+    EXPECT_NEAR(closed, direct.u_mc, 1e-12) << "n' = " << n_adapt;
+  }
+}
+
+TEST(SweepAdaptation, ProducesMonotoneCurves) {
+  // The Fig. 1 mechanics: U_MC non-decreasing, pfh(LO) non-increasing.
+  const FtTaskSet ts = example31(Dal::C);
+  AdaptationModel model;
+  model.kind = mcs::AdaptationKind::kKilling;
+  model.os_hours = 1.0;
+  const auto pts = sweep_adaptation(ts, 3, 3, model,
+                                    SafetyRequirements::do178b(), 4);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].u_mc, pts[i - 1].u_mc);
+    EXPECT_LE(pts[i].pfh_lo, pts[i - 1].pfh_lo);
+    EXPECT_EQ(pts[i].n_adapt, static_cast<int>(i));
+  }
+  EXPECT_EQ(pts[0].schedulable, pts[0].u_mc <= 1.0);
+}
+
+}  // namespace
+}  // namespace ftmc::core

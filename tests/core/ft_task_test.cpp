@@ -1,0 +1,100 @@
+#include "ftmc/core/ft_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::core {
+namespace {
+
+FtTask make(const std::string& name, Millis t, Millis c, Dal dal,
+            double f = 1e-5) {
+  return {name, t, t, c, dal, f};
+}
+
+TEST(FtTask, UtilizationAndDeadlines) {
+  FtTask t = make("x", 100.0, 20.0, Dal::B);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.2);
+  EXPECT_TRUE(t.implicit_deadline());
+  t.deadline = 50.0;
+  EXPECT_FALSE(t.implicit_deadline());
+}
+
+TEST(FtTask, ValidateRejectsMalformed) {
+  EXPECT_THROW(make("x", 0.0, 5.0, Dal::B).validate(), ContractViolation);
+  EXPECT_THROW(make("x", 10.0, 0.0, Dal::B).validate(), ContractViolation);
+  EXPECT_THROW(make("x", 10.0, 5.0, Dal::B, -0.5).validate(),
+               ContractViolation);
+  EXPECT_THROW(make("x", 10.0, 5.0, Dal::B, 1.0).validate(),
+               ContractViolation);
+  EXPECT_NO_THROW(make("x", 10.0, 5.0, Dal::B, 0.0).validate());
+}
+
+TEST(FtTaskSet, CritOfFollowsMapping) {
+  FtTaskSet ts({make("h", 100, 10, Dal::B), make("l", 50, 5, Dal::C)},
+               {Dal::B, Dal::C});
+  EXPECT_EQ(ts.crit_of(0), CritLevel::HI);
+  EXPECT_EQ(ts.crit_of(1), CritLevel::LO);
+}
+
+TEST(FtTaskSet, CritOfRejectsForeignDal) {
+  FtTaskSet ts({make("x", 100, 10, Dal::A)}, {Dal::B, Dal::C});
+  EXPECT_THROW((void)ts.crit_of(0), ContractViolation);
+  EXPECT_THROW(ts.validate(), ContractViolation);
+}
+
+TEST(FtTaskSet, MappingMustBeOrdered) {
+  EXPECT_THROW(FtTaskSet({}, DualCriticalityMapping{Dal::C, Dal::B}),
+               ContractViolation);
+  FtTaskSet ts;
+  EXPECT_THROW(ts.set_mapping({Dal::D, Dal::D}), ContractViolation);
+  EXPECT_NO_THROW(ts.set_mapping({Dal::A, Dal::E}));
+}
+
+TEST(FtTaskSet, IndicesAndCounts) {
+  FtTaskSet ts({make("h1", 100, 10, Dal::B), make("l1", 50, 5, Dal::C),
+                make("h2", 200, 10, Dal::B)},
+               {Dal::B, Dal::C});
+  EXPECT_EQ(ts.count(CritLevel::HI), 2u);
+  EXPECT_EQ(ts.count(CritLevel::LO), 1u);
+  const auto hi = ts.indices_at(CritLevel::HI);
+  ASSERT_EQ(hi.size(), 2u);
+  EXPECT_EQ(hi[0], 0u);
+  EXPECT_EQ(hi[1], 2u);
+}
+
+TEST(FtTaskSet, UtilizationPerLevel) {
+  FtTaskSet ts({make("h", 100, 10, Dal::B), make("l", 50, 5, Dal::C)},
+               {Dal::B, Dal::C});
+  EXPECT_DOUBLE_EQ(ts.utilization(CritLevel::HI), 0.1);
+  EXPECT_DOUBLE_EQ(ts.utilization(CritLevel::LO), 0.1);
+  EXPECT_DOUBLE_EQ(ts.total_utilization(), 0.2);
+}
+
+TEST(FtTaskSet, AllImplicitDeadlines) {
+  FtTaskSet ts({make("h", 100, 10, Dal::B)}, {Dal::B, Dal::C});
+  EXPECT_TRUE(ts.all_implicit_deadlines());
+  FtTask constrained = make("c", 100, 10, Dal::C);
+  constrained.deadline = 60.0;
+  ts.add(constrained);
+  EXPECT_FALSE(ts.all_implicit_deadlines());
+}
+
+TEST(UniformProfile, AssignsByLevel) {
+  FtTaskSet ts({make("h", 100, 10, Dal::B), make("l", 50, 5, Dal::C),
+                make("h2", 80, 8, Dal::B)},
+               {Dal::B, Dal::C});
+  const PerTaskProfile p = uniform_profile(ts, 3, 2);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 3);
+  EXPECT_EQ(p[1], 2);
+  EXPECT_EQ(p[2], 3);
+}
+
+TEST(UniformProfile, RejectsNegative) {
+  FtTaskSet ts({make("h", 100, 10, Dal::B)}, {Dal::B, Dal::C});
+  EXPECT_THROW(uniform_profile(ts, -1, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::core

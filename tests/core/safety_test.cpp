@@ -1,0 +1,89 @@
+#include "ftmc/core/safety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::core {
+namespace {
+
+TEST(SafetyRequirements, Do178bTable1) {
+  const auto reqs = SafetyRequirements::do178b();
+  EXPECT_EQ(reqs.standard_name(), "DO-178B");
+  ASSERT_TRUE(reqs.requirement(Dal::A).has_value());
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::A), 1e-9);
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::B), 1e-7);
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::C), 1e-5);
+  // Levels D and E carry no quantified requirement (PFH >= 1e-5 / none).
+  EXPECT_FALSE(reqs.requirement(Dal::D).has_value());
+  EXPECT_FALSE(reqs.requirement(Dal::E).has_value());
+}
+
+TEST(SafetyRequirements, RequirementsStrictlyTightenWithCriticality) {
+  const auto reqs = SafetyRequirements::do178b();
+  EXPECT_LT(*reqs.requirement(Dal::A), *reqs.requirement(Dal::B));
+  EXPECT_LT(*reqs.requirement(Dal::B), *reqs.requirement(Dal::C));
+}
+
+TEST(SafetyRequirements, SatisfiedUsesStrictInequality) {
+  const auto reqs = SafetyRequirements::do178b();
+  EXPECT_TRUE(reqs.satisfied(Dal::B, 9.9e-8));
+  EXPECT_FALSE(reqs.satisfied(Dal::B, 1e-7));  // Table 1: PFH < 1e-7
+  EXPECT_FALSE(reqs.satisfied(Dal::B, 2e-7));
+}
+
+TEST(SafetyRequirements, UnconstrainedLevelsAcceptAnything) {
+  const auto reqs = SafetyRequirements::do178b();
+  EXPECT_TRUE(reqs.satisfied(Dal::D, 1.0));
+  EXPECT_TRUE(reqs.satisfied(Dal::E, 1e9));  // PFH bounds can exceed 1
+  EXPECT_FALSE(reqs.constrains(Dal::D));
+  EXPECT_FALSE(reqs.constrains(Dal::E));
+  EXPECT_TRUE(reqs.constrains(Dal::C));
+}
+
+TEST(SafetyRequirements, Iec61508MapsSilLevels) {
+  const auto reqs = SafetyRequirements::iec61508();
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::A), 1e-8);
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::B), 1e-7);
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::C), 1e-6);
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::D), 1e-5);
+  EXPECT_FALSE(reqs.requirement(Dal::E).has_value());
+}
+
+TEST(SafetyRequirements, Iec61508IsStricterThanDo178bAtCandD) {
+  const auto iec = SafetyRequirements::iec61508();
+  const auto dob = SafetyRequirements::do178b();
+  EXPECT_LT(*iec.requirement(Dal::C), *dob.requirement(Dal::C));
+  EXPECT_TRUE(iec.constrains(Dal::D));
+  EXPECT_FALSE(dob.constrains(Dal::D));
+}
+
+TEST(SafetyRequirements, CustomTable) {
+  const auto reqs = SafetyRequirements::custom(
+      "unit-test", {std::optional<double>{1e-6}, std::nullopt, std::nullopt,
+                    std::nullopt, std::optional<double>{0.5}});
+  EXPECT_EQ(reqs.standard_name(), "unit-test");
+  EXPECT_DOUBLE_EQ(*reqs.requirement(Dal::A), 1e-6);
+  EXPECT_FALSE(reqs.constrains(Dal::B));
+  EXPECT_TRUE(reqs.satisfied(Dal::E, 0.49));
+  EXPECT_FALSE(reqs.satisfied(Dal::E, 0.51));
+}
+
+TEST(SafetyRequirements, CustomRejectsNonPositiveBounds) {
+  EXPECT_THROW(SafetyRequirements::custom(
+                   "bad", {std::optional<double>{0.0}, std::nullopt,
+                           std::nullopt, std::nullopt, std::nullopt}),
+               ContractViolation);
+  EXPECT_THROW(SafetyRequirements::custom(
+                   "bad", {std::optional<double>{2.0}, std::nullopt,
+                           std::nullopt, std::nullopt, std::nullopt}),
+               ContractViolation);
+}
+
+TEST(SafetyRequirements, SatisfiedRejectsNegativePfh) {
+  EXPECT_THROW((void)SafetyRequirements::do178b().satisfied(Dal::A, -1.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::core

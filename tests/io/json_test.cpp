@@ -1,0 +1,103 @@
+#include "ftmc/io/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftmc::io {
+namespace {
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json::escape("tau1"), "tau1");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json::escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonNumber, SpecialValues) {
+  EXPECT_EQ(json::number(std::nan("")), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()),
+            "\"inf\"");
+  EXPECT_EQ(json::number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(json::number(2.0), "2");
+}
+
+TEST(JsonNumber, FullPrecisionRoundTrip) {
+  const double v = 2.04e-10;
+  EXPECT_DOUBLE_EQ(std::stod(json::number(v)), v);
+}
+
+TEST(JsonObject, OrderPreservingAndTyped) {
+  const std::string s = json::Object{}
+                            .add_string("name", "x")
+                            .add_int("n", 3)
+                            .add_bool("ok", true)
+                            .add_number("u", 0.5)
+                            .add_raw("list", "[1,2]")
+                            .str();
+  EXPECT_EQ(s, R"({"name":"x","n":3,"ok":true,"u":0.5,"list":[1,2]})");
+}
+
+TEST(JsonArray, JoinsValues) {
+  EXPECT_EQ(json::array({}), "[]");
+  EXPECT_EQ(json::array({"1", "\"a\""}), "[1,\"a\"]");
+}
+
+core::FtTaskSet example31() {
+  return core::FtTaskSet(
+      {core::FtTask{"tau1", 60, 60, 5, Dal::B, 1e-5},
+       core::FtTask{"tau3", 40, 40, 7, Dal::D, 1e-5}},
+      DualCriticalityMapping{Dal::B, Dal::D});
+}
+
+TEST(JsonTaskSet, ContainsMappingAndTasks) {
+  const std::string s = task_set_to_json(example31());
+  EXPECT_NE(s.find("\"hi_dal\":\"B\""), std::string::npos);
+  EXPECT_NE(s.find("\"lo_dal\":\"D\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"tau1\""), std::string::npos);
+  EXPECT_NE(s.find("\"crit\":\"LO\""), std::string::npos);
+  EXPECT_NE(s.find("\"failure_prob\":1.0000000000000001e-05"),
+            std::string::npos);
+}
+
+TEST(JsonFtsResult, SerializesVerdictAndProfiles) {
+  core::FtsConfig cfg;
+  cfg.adaptation.kind = mcs::AdaptationKind::kKilling;
+  cfg.adaptation.os_hours = 1.0;
+  core::FtTaskSet ts(
+      {core::FtTask{"tau1", 60, 60, 5, Dal::B, 1e-5},
+       core::FtTask{"tau2", 25, 25, 4, Dal::B, 1e-5},
+       core::FtTask{"tau3", 40, 40, 7, Dal::D, 1e-5},
+       core::FtTask{"tau4", 90, 90, 6, Dal::D, 1e-5},
+       core::FtTask{"tau5", 70, 70, 8, Dal::D, 1e-5}},
+      DualCriticalityMapping{Dal::B, Dal::D});
+  const auto result = core::ft_schedule(ts, cfg);
+  const std::string s = fts_result_to_json(result);
+  EXPECT_NE(s.find("\"success\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"n_hi\":3"), std::string::npos);
+  EXPECT_NE(s.find("\"n_adapt\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"scheduler\":\"EDF-VD\""), std::string::npos);
+  EXPECT_NE(s.find("\"wcet_hi_ms\":15"), std::string::npos);
+  // Balanced braces (cheap structural sanity).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(JsonSweep, SerializesPoints) {
+  const std::vector<core::AdaptationSweepPoint> pts = {
+      {0, 0.73, 14400.0, true, false},
+      {3, std::numeric_limits<double>::infinity(), 1e-10, false, true}};
+  const std::string s = sweep_to_json(pts);
+  EXPECT_NE(s.find("\"n_adapt\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"schedulable\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"u_mc\":\"inf\""), std::string::npos);
+  EXPECT_NE(s.find("\"safe\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftmc::io

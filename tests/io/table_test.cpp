@@ -1,0 +1,61 @@
+#include "ftmc/io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::io {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"n'", "U_MC"});
+  t.add_row({"0", "0.73"});
+  t.add_row({"10", "1.0944"});
+  const std::string out = t.to_string();
+  // Header, separator, two rows.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line.rfind("n'", 0), 0u);
+  std::getline(is, line);
+  EXPECT_EQ(line.find_first_not_of('-'), std::string::npos);
+  std::getline(is, line);
+  EXPECT_NE(line.find("0.73"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_NE(line.find("1.0944"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::num(0.5), "0.5");
+  EXPECT_EQ(Table::num(1.23456789, 3), "1.23");
+  EXPECT_EQ(Table::sci(2.04e-10), "2.04e-10");
+  EXPECT_EQ(Table::sci(0.0), "0.00e+00");
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  write_csv(os, {"u", "ratio"}, {{"0.4", "1.0"}, {"0.9", "0.25"}});
+  EXPECT_EQ(os.str(), "u,ratio\n0.4,1.0\n0.9,0.25\n");
+}
+
+}  // namespace
+}  // namespace ftmc::io

@@ -1,0 +1,112 @@
+#include "ftmc/io/taskset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftmc::io {
+namespace {
+
+const char* kExample31 = R"(
+# Example 3.1 of the paper
+mapping HI=B LO=D
+task tau1 T=60 C=5 dal=B f=1e-5
+task tau2 T=25 C=4 dal=B f=1e-5
+task tau3 T=40 C=7 dal=D f=1e-5
+task tau4 T=90 C=6 dal=D f=1e-5
+task tau5 T=70 C=8 dal=D f=1e-5
+)";
+
+TEST(TasksetIo, ParsesExample31) {
+  const auto ts = parse_task_set_string(kExample31);
+  ASSERT_EQ(ts.size(), 5u);
+  EXPECT_EQ(ts.mapping().hi, Dal::B);
+  EXPECT_EQ(ts.mapping().lo, Dal::D);
+  EXPECT_EQ(ts[0].name, "tau1");
+  EXPECT_DOUBLE_EQ(ts[0].period, 60.0);
+  EXPECT_DOUBLE_EQ(ts[0].deadline, 60.0);  // D defaults to T
+  EXPECT_DOUBLE_EQ(ts[0].wcet, 5.0);
+  EXPECT_EQ(ts[0].dal, Dal::B);
+  EXPECT_DOUBLE_EQ(ts[0].failure_prob, 1e-5);
+  EXPECT_EQ(ts.count(CritLevel::LO), 3u);
+}
+
+TEST(TasksetIo, ExplicitDeadline) {
+  const auto ts = parse_task_set_string(
+      "mapping HI=A LO=E\ntask x T=100 D=40 C=5 dal=A f=0.001\n");
+  EXPECT_DOUBLE_EQ(ts[0].deadline, 40.0);
+}
+
+TEST(TasksetIo, CommentsAndBlankLinesIgnored) {
+  const auto ts = parse_task_set_string(
+      "# leading comment\n\nmapping HI=B LO=C   # trailing\n"
+      "task x T=10 C=1 dal=B f=0 # end\n");
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TasksetIo, RoundTrip) {
+  const auto original = parse_task_set_string(kExample31);
+  const auto reparsed = parse_task_set_string(task_set_to_string(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].name, original[i].name);
+    EXPECT_DOUBLE_EQ(reparsed[i].period, original[i].period);
+    EXPECT_DOUBLE_EQ(reparsed[i].deadline, original[i].deadline);
+    EXPECT_DOUBLE_EQ(reparsed[i].wcet, original[i].wcet);
+    EXPECT_EQ(reparsed[i].dal, original[i].dal);
+    EXPECT_DOUBLE_EQ(reparsed[i].failure_prob, original[i].failure_prob);
+  }
+}
+
+TEST(TasksetIo, MissingMappingRejected) {
+  EXPECT_THROW(parse_task_set_string("task x T=10 C=1 dal=B f=0\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, UnknownDirectiveRejected) {
+  EXPECT_THROW(parse_task_set_string("mapping HI=B LO=C\nfoo bar\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, UnknownKeyRejected) {
+  EXPECT_THROW(parse_task_set_string(
+                   "mapping HI=B LO=C\ntask x T=10 C=1 dal=B q=3\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, MalformedNumberRejected) {
+  EXPECT_THROW(parse_task_set_string(
+                   "mapping HI=B LO=C\ntask x T=ten C=1 dal=B f=0\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, BadDalRejected) {
+  EXPECT_THROW(parse_task_set_string("mapping HI=B LO=Z\n"), ParseError);
+  EXPECT_THROW(parse_task_set_string(
+                   "mapping HI=B LO=C\ntask x T=10 C=1 dal=Q f=0\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, InvalidModelRejectedWithParseError) {
+  // Structurally fine but semantically invalid (zero WCET): the parser
+  // surfaces the model validation as a ParseError.
+  EXPECT_THROW(parse_task_set_string(
+                   "mapping HI=B LO=C\ntask x T=10 C=0 dal=B f=0\n"),
+               ParseError);
+  // DAL outside the mapping.
+  EXPECT_THROW(parse_task_set_string(
+                   "mapping HI=B LO=C\ntask x T=10 C=1 dal=E f=0\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, TaskWithoutNameRejected) {
+  EXPECT_THROW(parse_task_set_string("mapping HI=B LO=C\ntask\n"),
+               ParseError);
+}
+
+TEST(TasksetIo, MissingEqualsRejected) {
+  EXPECT_THROW(parse_task_set_string("mapping HIB LO=C\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace ftmc::io

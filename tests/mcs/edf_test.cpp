@@ -1,0 +1,137 @@
+#include "ftmc/mcs/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+TEST(DemandBound, SingleTaskSteps) {
+  const SporadicTask t{10.0, 10.0, 3.0};
+  EXPECT_DOUBLE_EQ(demand_bound(t, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 9.999), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 10.0), 3.0);   // first deadline
+  EXPECT_DOUBLE_EQ(demand_bound(t, 19.999), 3.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 20.0), 6.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 100.0), 30.0);
+}
+
+TEST(DemandBound, ConstrainedDeadlineShiftsSteps) {
+  const SporadicTask t{10.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(demand_bound(t, 3.999), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 14.0), 4.0);
+}
+
+TEST(DemandBound, ArbitraryDeadlineBeyondPeriod) {
+  const SporadicTask t{10.0, 25.0, 4.0};
+  EXPECT_DOUBLE_EQ(demand_bound(t, 24.0), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 25.0), 4.0);
+  EXPECT_DOUBLE_EQ(demand_bound(t, 35.0), 8.0);
+}
+
+TEST(DemandBound, SetSumsTasks) {
+  const std::vector<SporadicTask> tasks = {{10, 10, 3}, {20, 20, 5}};
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 20.0), 6.0 + 5.0);
+}
+
+TEST(DemandBound, RejectsMalformedTask) {
+  EXPECT_THROW((void)demand_bound(SporadicTask{0, 10, 1}, 5.0),
+               ContractViolation);
+}
+
+TEST(EdfSchedulable, ImplicitDeadlinesDecidedByUtilization) {
+  // U = 0.95 with implicit deadlines: schedulable without DBF points.
+  const std::vector<SporadicTask> ok = {{10, 10, 4.75}, {20, 20, 9.5}};
+  EXPECT_TRUE(edf_schedulable(ok).schedulable);
+  EXPECT_NEAR(edf_schedulable(ok).utilization, 0.95, 1e-12);
+
+  const std::vector<SporadicTask> over = {{10, 10, 6}, {20, 20, 9}};
+  EXPECT_FALSE(edf_schedulable(over).schedulable);  // U = 1.05
+}
+
+TEST(EdfSchedulable, FullUtilizationImplicitIsSchedulable) {
+  const std::vector<SporadicTask> full = {{10, 10, 5}, {20, 20, 10}};
+  EXPECT_TRUE(edf_schedulable(full).schedulable);  // U = 1 exactly
+}
+
+TEST(EdfSchedulable, ConstrainedDeadlinesCanFailBelowFullUtilization) {
+  // Classic: two tasks, U = 0.8, but both want 4 units by t = 5.
+  const std::vector<SporadicTask> tight = {{10, 5, 4}, {10, 5, 4}};
+  const EdfDbfResult r = edf_schedulable(tight);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_DOUBLE_EQ(r.violation_at, 5.0);
+}
+
+TEST(EdfSchedulable, ConstrainedDeadlinesPassWhenDemandFits) {
+  const std::vector<SporadicTask> fits = {{10, 5, 2}, {10, 5, 2}};
+  EXPECT_TRUE(edf_schedulable(fits).schedulable);
+}
+
+TEST(EdfSchedulable, ArbitraryDeadlinesUseUtilizationShortcut) {
+  // All D >= T: schedulable iff U <= 1 regardless of deadline positions.
+  const std::vector<SporadicTask> loose = {{10, 30, 6}, {20, 25, 8}};
+  EXPECT_TRUE(edf_schedulable(loose).schedulable);  // U = 1.0
+}
+
+TEST(EdfSchedulable, EmptySetIsSchedulable) {
+  EXPECT_TRUE(edf_schedulable({}).schedulable);
+}
+
+TEST(AsSporadic, ExtractsRequestedLevel) {
+  McTaskSet ts({{"h", 100, 100, 10, 30, CritLevel::HI},
+                {"l", 50, 50, 5, 5, CritLevel::LO}});
+  const auto lo_view = as_sporadic(ts, CritLevel::LO);
+  ASSERT_EQ(lo_view.size(), 2u);
+  EXPECT_DOUBLE_EQ(lo_view[0].wcet, 10.0);
+  EXPECT_DOUBLE_EQ(lo_view[1].wcet, 5.0);
+  const auto hi_view = as_sporadic(ts, CritLevel::HI);
+  EXPECT_DOUBLE_EQ(hi_view[0].wcet, 30.0);
+  EXPECT_DOUBLE_EQ(hi_view[1].wcet, 5.0);
+}
+
+TEST(AsSporadic, OwnLevelUsesTaskCriticality) {
+  McTaskSet ts({{"h", 100, 100, 10, 30, CritLevel::HI},
+                {"l", 50, 50, 5, 5, CritLevel::LO}});
+  const auto view = as_sporadic_own_level(ts);
+  EXPECT_DOUBLE_EQ(view[0].wcet, 30.0);  // HI task at C(HI)
+  EXPECT_DOUBLE_EQ(view[1].wcet, 5.0);   // LO task at C(LO)
+}
+
+TEST(EdfWorstCaseTest, Example31IsInfeasibleWithoutAdaptation) {
+  // 3x re-executed HI tasks + LO tasks: U = 1.08595 (paper Sec. 3.2).
+  McTaskSet ts({{"t1", 60, 60, 15, 15, CritLevel::HI},
+                {"t2", 25, 25, 12, 12, CritLevel::HI},
+                {"t3", 40, 40, 7, 7, CritLevel::LO},
+                {"t4", 90, 90, 6, 6, CritLevel::LO},
+                {"t5", 70, 70, 8, 8, CritLevel::LO}});
+  const EdfWorstCaseTest test;
+  EXPECT_FALSE(test.schedulable(ts));
+  EXPECT_EQ(test.adaptation(), AdaptationKind::kNone);
+}
+
+TEST(EdfWorstCaseTest, LightSetIsFeasible) {
+  McTaskSet ts({{"h", 100, 100, 10, 30, CritLevel::HI},
+                {"l", 50, 50, 5, 5, CritLevel::LO}});
+  EXPECT_TRUE(EdfWorstCaseTest{}.schedulable(ts));  // 0.3 + 0.1
+}
+
+// Property: dbf is superadditive-ish in t — checking it never decreases.
+class DbfMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbfMonotone, NondecreasingInT) {
+  const SporadicTask t{GetParam(), GetParam() * 0.7, GetParam() * 0.2};
+  double prev = 0.0;
+  for (double x = 0.0; x < 20.0 * GetParam(); x += GetParam() / 3.0) {
+    const double d = demand_bound(t, x);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, DbfMonotone,
+                         ::testing::Values(7.0, 10.0, 13.0, 50.0, 97.0));
+
+}  // namespace
+}  // namespace ftmc::mcs

@@ -1,0 +1,107 @@
+#include "ftmc/mcs/edf_vd_degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+McTaskSet moderate_set() {
+  return McTaskSet({{"h1", 100, 100, 10, 30, CritLevel::HI},
+                    {"h2", 50, 50, 5, 15, CritLevel::HI},
+                    {"l1", 40, 40, 8, 8, CritLevel::LO},
+                    {"l2", 80, 80, 8, 8, CritLevel::LO}});
+}
+
+TEST(EdfVdDegradation, HandComputedUmc) {
+  // u_lo_lo = 0.3, u_hi_lo = 0.2, u_hi_hi = 0.6, df = 6:
+  // LO mode: 0.5; x = 0.2/0.7; HI mode: 0.6/(1 - 0.2857) + 0.3/5.
+  const double umc = edf_vd_degradation_umc(0.3, 0.2, 0.6, 6.0);
+  const double x = 0.2 / 0.7;
+  EXPECT_NEAR(umc, 0.6 / (1.0 - x) + 0.3 / 5.0, 1e-12);
+}
+
+TEST(EdfVdDegradation, ModerateSetSchedulableWithLargeDf) {
+  const auto a = analyze_edf_vd_degradation(moderate_set(), 6.0);
+  EXPECT_TRUE(a.schedulable);
+  EXPECT_LE(a.u_mc, 1.0);
+  EXPECT_DOUBLE_EQ(a.degradation_factor, 6.0);
+}
+
+TEST(EdfVdDegradation, SmallDfRetainsMoreLoLoad) {
+  // U_MC decreases monotonically in df: stretching periods more leaves
+  // less residual LO load (the U_LO^LO / (df - 1) term).
+  const McTaskSet ts = moderate_set();
+  double prev = std::numeric_limits<double>::infinity();
+  for (const double df : {1.5, 2.0, 3.0, 6.0, 12.0}) {
+    const auto a = analyze_edf_vd_degradation(ts, df);
+    EXPECT_LE(a.u_mc, prev) << "df = " << df;
+    prev = a.u_mc;
+  }
+}
+
+TEST(EdfVdDegradation, DegenerateLambdaReportsUnschedulable) {
+  // x = u_hi_lo / (1 - u_lo_lo) >= 1 makes the Eq. (12) denominator
+  // non-positive: must report unschedulable, not a negative utilization.
+  const double umc = edf_vd_degradation_umc(0.5, 0.6, 0.7, 6.0);
+  EXPECT_EQ(umc, std::numeric_limits<double>::infinity());
+}
+
+TEST(EdfVdDegradation, OverloadedLoLevelUnschedulable) {
+  const double umc = edf_vd_degradation_umc(1.2, 0.1, 0.2, 6.0);
+  EXPECT_EQ(umc, std::numeric_limits<double>::infinity());
+}
+
+TEST(EdfVdDegradation, RejectsDfNotAboveOne) {
+  EXPECT_THROW((void)edf_vd_degradation_umc(0.3, 0.2, 0.6, 1.0),
+               ContractViolation);
+  EXPECT_THROW(EdfVdDegradationTest(0.5), ContractViolation);
+  EXPECT_THROW((void)analyze_edf_vd_degradation(moderate_set(), 1.0),
+               ContractViolation);
+}
+
+TEST(EdfVdDegradation, RejectsNonImplicitDeadlines) {
+  McTaskSet ts({{"h", 100, 50, 10, 20, CritLevel::HI}});
+  EXPECT_THROW((void)analyze_edf_vd_degradation(ts, 6.0), ContractViolation);
+}
+
+TEST(EdfVdDegradation, TestAdapterProperties) {
+  const EdfVdDegradationTest test(6.0);
+  EXPECT_EQ(test.adaptation(), AdaptationKind::kDegradation);
+  EXPECT_TRUE(test.requires_implicit_deadlines());
+  EXPECT_NE(test.name().find("df=6"), std::string::npos);
+  EXPECT_DOUBLE_EQ(test.degradation_factor(), 6.0);
+  EXPECT_TRUE(test.schedulable(moderate_set()));
+}
+
+TEST(EdfVdDegradation, XFactorIsLambda) {
+  // The degradation analysis always reports lambda = U_HI^LO/(1-U_LO^LO)
+  // (plain EDF-VD may instead report x = 1 when worst-case EDF suffices).
+  const auto deg = analyze_edf_vd_degradation(moderate_set(), 6.0);
+  EXPECT_DOUBLE_EQ(deg.x, deg.u_hi_lo / (1.0 - deg.u_lo_lo));
+}
+
+// Property sweep: for identical aggregates, degradation's HI-mode term
+// dominates killing's (degraded LO tasks still consume capacity), so
+// U_MC(degradation) >= U_MC(killing) whenever both are finite.
+class DegVsKill : public ::testing::TestWithParam<double> {};
+
+TEST_P(DegVsKill, DegradationNeverEasierThanKilling) {
+  const double u_hi_lo = GetParam();
+  const double u_lo_lo = 0.3;
+  const double u_hi_hi = 0.5;
+  const double kill = edf_vd_umc(u_lo_lo, u_hi_lo, u_hi_hi);
+  const double degrade =
+      edf_vd_degradation_umc(u_lo_lo, u_hi_lo, u_hi_hi, 6.0);
+  EXPECT_GE(degrade, kill) << "u_hi_lo = " << u_hi_lo;
+}
+
+INSTANTIATE_TEST_SUITE_P(HiLoBudgets, DegVsKill,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5));
+
+}  // namespace
+}  // namespace ftmc::mcs

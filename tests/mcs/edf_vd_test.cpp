@@ -1,0 +1,120 @@
+#include "ftmc/mcs/edf_vd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+/// The converted Example 3.1 task set (paper Table 3): the paper states it
+/// is schedulable by EDF-VD.
+McTaskSet table3() {
+  return McTaskSet({{"t1", 60, 60, 10, 15, CritLevel::HI},
+                    {"t2", 25, 25, 8, 12, CritLevel::HI},
+                    {"t3", 40, 40, 7, 7, CritLevel::LO},
+                    {"t4", 90, 90, 6, 6, CritLevel::LO},
+                    {"t5", 70, 70, 8, 8, CritLevel::LO}});
+}
+
+TEST(EdfVd, Table3IsSchedulable) {
+  const EdfVdAnalysis a = analyze_edf_vd(table3());
+  EXPECT_TRUE(a.schedulable);
+  // Hand-computed U_MC = max{0.8426.., 0.99898..} (see Eq. (10)).
+  EXPECT_NEAR(a.u_mc, 0.99898, 1e-4);
+  EXPECT_FALSE(a.plain_edf_suffices);  // 0.73 + 0.3559 + ... > 1
+}
+
+TEST(EdfVd, Table3VirtualDeadlineFactor) {
+  const EdfVdAnalysis a = analyze_edf_vd(table3());
+  // x = U_HI^LO / (1 - U_LO^LO) = 0.486667 / 0.644048.
+  EXPECT_NEAR(a.x, 0.4866667 / 0.6440476, 1e-5);
+  EXPECT_GT(a.x, 0.0);
+  EXPECT_LE(a.x, 1.0);
+}
+
+TEST(EdfVd, UtilizationAggregatesExposed) {
+  const EdfVdAnalysis a = analyze_edf_vd(table3());
+  EXPECT_NEAR(a.u_lo_lo, 0.3559524, 1e-6);
+  EXPECT_NEAR(a.u_hi_lo, 0.4866667, 1e-6);
+  EXPECT_NEAR(a.u_hi_hi, 0.73, 1e-12);
+}
+
+TEST(EdfVd, WithoutModeSwitchExample31IsUnschedulable) {
+  // Example 3.1: running every HI task at 3C with no killing gives total
+  // utilization 1.08595 > 1 — the motivating observation of Sec. 3.2.
+  McTaskSet ts({{"t1", 60, 60, 15, 15, CritLevel::HI},
+                {"t2", 25, 25, 12, 12, CritLevel::HI},
+                {"t3", 40, 40, 7, 7, CritLevel::LO},
+                {"t4", 90, 90, 6, 6, CritLevel::LO},
+                {"t5", 70, 70, 8, 8, CritLevel::LO}});
+  const EdfVdAnalysis a = analyze_edf_vd(ts);
+  EXPECT_NEAR(a.u_hi_hi + a.u_lo_lo, 1.08595, 1e-4);
+  EXPECT_FALSE(a.plain_edf_suffices);
+  // (EDF-VD with C(LO) = C(HI) has no slack to exploit either.)
+  EXPECT_FALSE(a.schedulable);
+}
+
+TEST(EdfVd, LightSystemUsesPlainEdf) {
+  McTaskSet ts({{"h", 100, 100, 10, 20, CritLevel::HI},
+                {"l", 50, 50, 10, 10, CritLevel::LO}});
+  const EdfVdAnalysis a = analyze_edf_vd(ts);
+  EXPECT_TRUE(a.schedulable);
+  EXPECT_TRUE(a.plain_edf_suffices);  // 0.2 + 0.2 <= 1
+  EXPECT_DOUBLE_EQ(a.x, 1.0);
+}
+
+TEST(EdfVd, OverloadedLoLevelIsUnschedulable) {
+  McTaskSet ts({{"h", 100, 100, 10, 20, CritLevel::HI},
+                {"l1", 10, 10, 6, 6, CritLevel::LO},
+                {"l2", 10, 10, 5, 5, CritLevel::LO}});
+  const EdfVdAnalysis a = analyze_edf_vd(ts);  // U_LO^LO = 1.1
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_EQ(a.u_mc, std::numeric_limits<double>::infinity());
+}
+
+TEST(EdfVd, RejectsNonImplicitDeadlines) {
+  McTaskSet ts({{"h", 100, 50, 10, 20, CritLevel::HI}});
+  EXPECT_THROW((void)analyze_edf_vd(ts), ContractViolation);
+}
+
+TEST(EdfVd, UmcClosedFormMatchesAnalysis) {
+  const McTaskSet ts = table3();
+  const EdfVdAnalysis a = analyze_edf_vd(ts);
+  EXPECT_DOUBLE_EQ(edf_vd_umc(a.u_lo_lo, a.u_hi_lo, a.u_hi_hi), a.u_mc);
+}
+
+TEST(EdfVd, UmcRejectsNegativeUtilization) {
+  EXPECT_THROW((void)edf_vd_umc(-0.1, 0.2, 0.3), ContractViolation);
+}
+
+TEST(EdfVd, TestAdapterReportsKilling) {
+  const EdfVdTest test;
+  EXPECT_EQ(test.adaptation(), AdaptationKind::kKilling);
+  EXPECT_TRUE(test.requires_implicit_deadlines());
+  EXPECT_EQ(test.name(), "EDF-VD");
+  EXPECT_TRUE(test.schedulable(table3()));
+}
+
+// Property sweep: U_MC grows monotonically with the LO-mode budget of HI
+// tasks — the mechanism behind Fig. 1 ("with increasing adaptation
+// profiles, U_MC will continuously increase").
+class EdfVdMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(EdfVdMonotone, UmcNondecreasingInHiLoBudget) {
+  const double u_lo_lo = GetParam();
+  double prev = 0.0;
+  for (double u_hi_lo = 0.0; u_hi_lo <= 0.5; u_hi_lo += 0.05) {
+    const double umc = edf_vd_umc(u_lo_lo, u_hi_lo, 0.6);
+    EXPECT_GE(umc, prev) << "u_hi_lo = " << u_hi_lo;
+    prev = umc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoBudgets, EdfVdMonotone,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6));
+
+}  // namespace
+}  // namespace ftmc::mcs

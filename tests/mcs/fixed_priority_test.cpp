@@ -1,0 +1,128 @@
+#include "ftmc/mcs/fixed_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+TEST(DeadlineMonotonic, OrdersBySmallestDeadlineFirst) {
+  McTaskSet ts({{"a", 100, 100, 5, 5, CritLevel::LO},
+                {"b", 20, 20, 2, 2, CritLevel::LO},
+                {"c", 50, 50, 3, 3, CritLevel::LO}});
+  const auto order = deadline_monotonic_order(ts);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(DeadlineMonotonic, StableOnTies) {
+  McTaskSet ts({{"a", 20, 20, 2, 2, CritLevel::LO},
+                {"b", 20, 20, 2, 2, CritLevel::LO}});
+  const auto order = deadline_monotonic_order(ts);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(ClassicRta, TextbookResponseTimes) {
+  // Classic example: C = {1, 2, 3}, T = D = {4, 8, 16} under RM/DM.
+  // R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3;
+  // R3 = 3 + ceil(R/4)*1 + ceil(R/8)*2 -> fixed point at 7
+  // (demand in [0,7]: 2*1 + 1*2 + 3 = 7).
+  McTaskSet ts({{"t1", 4, 4, 1, 1, CritLevel::LO},
+                {"t2", 8, 8, 2, 2, CritLevel::LO},
+                {"t3", 16, 16, 3, 3, CritLevel::LO}});
+  const ResponseTimes r = analyze_rta_worst_case(ts);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_DOUBLE_EQ(r.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.lo[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.lo[2], 7.0);
+}
+
+TEST(ClassicRta, DetectsDeadlineMiss) {
+  McTaskSet ts({{"t1", 4, 4, 2, 2, CritLevel::LO},
+                {"t2", 8, 8, 2, 2, CritLevel::LO},
+                {"t3", 16, 16, 5, 5, CritLevel::LO}});
+  // t3: 5 + interference; demand in [0,16]: 4*2 + 2*2 + 5 = 17 > 16.
+  EXPECT_FALSE(analyze_rta_worst_case(ts).schedulable);
+}
+
+TEST(ClassicRta, UsesOwnCriticalityBudgets) {
+  // The HI task is budgeted at C(HI) = 4 even though C(LO) = 1.
+  McTaskSet ts({{"h", 10, 10, 1, 4, CritLevel::HI},
+                {"l", 20, 20, 14, 14, CritLevel::LO}});
+  const ResponseTimes r = analyze_rta_worst_case(ts);
+  // l: 14 + ceil(R/10)*4 -> R = 14+4=18 -> ceil(18/10)=2 -> 22 > 20.
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(ClassicRta, RejectsUnconstrainedDeadlines) {
+  McTaskSet ts({{"t", 10, 15, 1, 1, CritLevel::LO}});
+  EXPECT_THROW(analyze_rta_worst_case(ts), ContractViolation);
+}
+
+TEST(AmcRtb, LoModePassesHiModeChecked) {
+  McTaskSet ts({{"h", 10, 10, 2, 5, CritLevel::HI},
+                {"l", 20, 20, 6, 6, CritLevel::LO}});
+  const ResponseTimes r = analyze_amc_rtb(ts);
+  EXPECT_TRUE(r.schedulable);
+  // LO mode: R_h = 2; R_l = 6 + ceil(R/10)*2 -> 8.
+  EXPECT_DOUBLE_EQ(r.lo[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.lo[1], 8.0);
+  // HI task mode-switch bound: C(HI) = 5, no higher-priority tasks.
+  EXPECT_DOUBLE_EQ(r.hi[0], 5.0);
+}
+
+TEST(AmcRtb, FrozenLoInterferenceAfterSwitch) {
+  // LO task has the shorter deadline (higher DM priority). The HI task's
+  // R* charges it only ceil(R^LO / T_l) releases, not releases over R*.
+  McTaskSet ts({{"l", 10, 10, 3, 3, CritLevel::LO},
+                {"h", 40, 40, 4, 20, CritLevel::HI}});
+  const ResponseTimes r = analyze_amc_rtb(ts);
+  // LO mode: R_l = 3; R_h^LO = 4 + ceil(R/10)*3 -> 4+3=7 -> 7 fits 1
+  // release -> R = 7.
+  EXPECT_DOUBLE_EQ(r.lo[1], 7.0);
+  // R* = 20 + ceil(7/10)*3 = 23 <= 40: schedulable. If LO interference
+  // were charged over R* it would be 20 + ceil(23/10)*3 = 29.
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_DOUBLE_EQ(r.hi[1], 23.0);
+}
+
+TEST(AmcRtb, HiModeOverloadDetected) {
+  McTaskSet ts({{"h1", 10, 10, 2, 6, CritLevel::HI},
+                {"h2", 15, 15, 2, 8, CritLevel::HI}});
+  // HI budgets: 6/10 + 8/15 > 1 over the busy window.
+  EXPECT_FALSE(analyze_amc_rtb(ts).schedulable);
+}
+
+TEST(AmcRtb, LoModeFailureShortCircuits) {
+  McTaskSet ts({{"h", 10, 10, 8, 9, CritLevel::HI},
+                {"l", 12, 12, 6, 6, CritLevel::LO}});
+  const ResponseTimes r = analyze_amc_rtb(ts);
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(AmcRtb, AdapterProperties) {
+  const AmcRtbTest test;
+  EXPECT_EQ(test.adaptation(), AdaptationKind::kKilling);
+  EXPECT_EQ(test.name(), "AMC-rtb");
+  EXPECT_FALSE(test.requires_implicit_deadlines());
+}
+
+TEST(AmcRtb, DominatesWorstCaseRta) {
+  // Any set schedulable with worst-case budgets is schedulable under
+  // AMC-rtb (which only ever charges less LO interference after the
+  // switch). Spot-check on a family of sets.
+  for (double c_hi = 1.0; c_hi <= 4.0; c_hi += 0.5) {
+    McTaskSet ts({{"h", 10, 10, 1, c_hi, CritLevel::HI},
+                  {"l", 25, 25, 5, 5, CritLevel::LO}});
+    if (analyze_rta_worst_case(ts).schedulable) {
+      EXPECT_TRUE(analyze_amc_rtb(ts).schedulable) << "c_hi = " << c_hi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftmc::mcs

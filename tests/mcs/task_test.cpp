@@ -1,0 +1,124 @@
+#include "ftmc/mcs/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+McTask hi_task(Millis t, Millis c_lo, Millis c_hi) {
+  return {"hi", t, t, c_lo, c_hi, CritLevel::HI};
+}
+McTask lo_task(Millis t, Millis c) {
+  return {"lo", t, t, c, c, CritLevel::LO};
+}
+
+TEST(McTask, WcetSelectsLevel) {
+  const McTask t = hi_task(100.0, 10.0, 30.0);
+  EXPECT_DOUBLE_EQ(t.wcet(CritLevel::LO), 10.0);
+  EXPECT_DOUBLE_EQ(t.wcet(CritLevel::HI), 30.0);
+}
+
+TEST(McTask, UtilizationPerLevel) {
+  const McTask t = hi_task(100.0, 10.0, 30.0);
+  EXPECT_DOUBLE_EQ(t.utilization(CritLevel::LO), 0.1);
+  EXPECT_DOUBLE_EQ(t.utilization(CritLevel::HI), 0.3);
+}
+
+TEST(McTask, DeadlineClassification) {
+  McTask t = hi_task(100.0, 10.0, 30.0);
+  EXPECT_TRUE(t.implicit_deadline());
+  EXPECT_TRUE(t.constrained_deadline());
+  t.deadline = 50.0;
+  EXPECT_FALSE(t.implicit_deadline());
+  EXPECT_TRUE(t.constrained_deadline());
+  t.deadline = 150.0;
+  EXPECT_FALSE(t.constrained_deadline());
+}
+
+TEST(McTask, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(hi_task(100.0, 10.0, 30.0).validate());
+  EXPECT_NO_THROW(lo_task(50.0, 5.0).validate());
+}
+
+TEST(McTask, ValidateAcceptsZeroLoWcetForHiTask) {
+  // C(LO) == 0 encodes adaptation profile n' = 0 after conversion.
+  EXPECT_NO_THROW(hi_task(100.0, 0.0, 30.0).validate());
+}
+
+TEST(McTask, ValidateRejectsMalformed) {
+  EXPECT_THROW(hi_task(0.0, 10.0, 30.0).validate(), ContractViolation);
+  EXPECT_THROW(hi_task(100.0, 30.0, 10.0).validate(), ContractViolation);
+  McTask bad = hi_task(100.0, 10.0, 30.0);
+  bad.deadline = 0.0;
+  EXPECT_THROW(bad.validate(), ContractViolation);
+  McTask bad_hi = hi_task(100.0, 10.0, 0.0);
+  EXPECT_THROW(bad_hi.validate(), ContractViolation);
+}
+
+TEST(McTask, ValidateRejectsLoTaskWithDifferingWcets) {
+  McTask t = lo_task(50.0, 5.0);
+  t.wcet_hi = 10.0;  // a LO task must not grow after the switch
+  EXPECT_THROW(t.validate(), ContractViolation);
+}
+
+TEST(McTask, ValidateRejectsLoTaskWithZeroWcet) {
+  McTask t{"lo0", 50.0, 50.0, 0.0, 0.0, CritLevel::LO};
+  EXPECT_THROW(t.validate(), ContractViolation);
+}
+
+TEST(McTaskSet, UtilizationAlgebraMatchesHandComputation) {
+  // The converted Example 3.1 set (paper Table 3).
+  McTaskSet ts({{"t1", 60, 60, 10, 15, CritLevel::HI},
+                {"t2", 25, 25, 8, 12, CritLevel::HI},
+                {"t3", 40, 40, 7, 7, CritLevel::LO},
+                {"t4", 90, 90, 6, 6, CritLevel::LO},
+                {"t5", 70, 70, 8, 8, CritLevel::LO}});
+  EXPECT_NEAR(ts.utilization(CritLevel::LO, CritLevel::LO),
+              7.0 / 40 + 6.0 / 90 + 8.0 / 70, 1e-12);
+  EXPECT_NEAR(ts.utilization(CritLevel::HI, CritLevel::LO),
+              10.0 / 60 + 8.0 / 25, 1e-12);
+  EXPECT_NEAR(ts.utilization(CritLevel::HI, CritLevel::HI),
+              15.0 / 60 + 12.0 / 25, 1e-12);
+  EXPECT_NEAR(ts.total_utilization(CritLevel::HI),
+              ts.utilization(CritLevel::LO, CritLevel::HI) +
+                  ts.utilization(CritLevel::HI, CritLevel::HI),
+              1e-12);
+}
+
+TEST(McTaskSet, CountsPerLevel) {
+  McTaskSet ts({hi_task(100, 10, 30), lo_task(50, 5), lo_task(60, 6)});
+  EXPECT_EQ(ts.count(CritLevel::HI), 1u);
+  EXPECT_EQ(ts.count(CritLevel::LO), 2u);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_FALSE(ts.empty());
+}
+
+TEST(McTaskSet, DeadlinePredicates) {
+  McTaskSet implicit({hi_task(100, 10, 30), lo_task(50, 5)});
+  EXPECT_TRUE(implicit.all_implicit_deadlines());
+  EXPECT_TRUE(implicit.all_constrained_deadlines());
+
+  McTask constrained = hi_task(100, 10, 30);
+  constrained.deadline = 40.0;
+  McTaskSet mixed({constrained, lo_task(50, 5)});
+  EXPECT_FALSE(mixed.all_implicit_deadlines());
+  EXPECT_TRUE(mixed.all_constrained_deadlines());
+}
+
+TEST(McTaskSet, AddAppends) {
+  McTaskSet ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(lo_task(50, 5));
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].name, "lo");
+}
+
+TEST(McTaskSet, ValidatePropagatesTaskErrors) {
+  McTaskSet ts({hi_task(100, 10, 30), hi_task(0.0, 1, 2)});
+  EXPECT_THROW(ts.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::mcs

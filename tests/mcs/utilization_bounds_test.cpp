@@ -1,0 +1,88 @@
+#include "ftmc/mcs/utilization_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/mcs/fixed_priority.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+TEST(LiuLayland, KnownValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-4);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7798, 1e-4);
+}
+
+TEST(LiuLayland, ConvergesToLn2) {
+  EXPECT_NEAR(liu_layland_bound(100000), std::log(2.0), 1e-4);
+  // The bound is strictly decreasing in n.
+  for (std::size_t n = 1; n < 10; ++n) {
+    EXPECT_GT(liu_layland_bound(n), liu_layland_bound(n + 1));
+  }
+}
+
+TEST(LiuLayland, TestAcceptsAndRejects) {
+  EXPECT_TRUE(rm_schedulable_liu_layland({0.3, 0.3}));      // 0.6 <= 0.828
+  EXPECT_FALSE(rm_schedulable_liu_layland({0.45, 0.45}));   // 0.9 > 0.828
+  EXPECT_TRUE(rm_schedulable_liu_layland({}));
+}
+
+TEST(Hyperbolic, DominatesLiuLayland) {
+  // Classic example: u = {0.4, 0.4}: LL rejects (0.8 <= 0.828 is fine
+  // actually) — use {0.5, 0.3}: sum 0.8 <= 0.828 LL accepts; and
+  // {0.6, 0.25}: sum 0.85 > 0.828 LL rejects, hyperbolic accepts
+  // (1.6 * 1.25 = 2.0 <= 2).
+  EXPECT_FALSE(rm_schedulable_liu_layland({0.6, 0.25}));
+  EXPECT_TRUE(rm_schedulable_hyperbolic({0.6, 0.25}));
+  // Every LL-accepted vector is hyperbolic-accepted (spot check).
+  EXPECT_TRUE(rm_schedulable_hyperbolic({0.3, 0.3}));
+}
+
+TEST(Hyperbolic, RejectsOverload) {
+  EXPECT_FALSE(rm_schedulable_hyperbolic({0.9, 0.9}));
+  EXPECT_FALSE(rm_schedulable_hyperbolic({1.2}));
+}
+
+TEST(Hyperbolic, RejectsNegativeUtilization) {
+  EXPECT_THROW((void)rm_schedulable_hyperbolic({-0.1}),
+               ContractViolation);
+  EXPECT_THROW((void)rm_schedulable_liu_layland({-0.1}),
+               ContractViolation);
+}
+
+TEST(RmWorstCaseTest, UsesOwnLevelBudgets) {
+  McTaskSet light({{"h", 100, 100, 5, 20, CritLevel::HI},
+                   {"l", 50, 50, 10, 10, CritLevel::LO}});
+  // own-level: 0.2 + 0.2: product 1.44 <= 2.
+  EXPECT_TRUE(RmWorstCaseTest{}.schedulable(light));
+
+  McTaskSet heavy({{"h", 100, 100, 5, 60, CritLevel::HI},
+                   {"l", 50, 50, 30, 30, CritLevel::LO}});
+  // 0.6 and 0.6: product 2.56 > 2.
+  EXPECT_FALSE(RmWorstCaseTest{}.schedulable(heavy));
+}
+
+TEST(RmWorstCaseTest, SufficientForExactRta) {
+  // Whatever the hyperbolic bound accepts, the exact RTA must accept too
+  // (on implicit-deadline sets where RM == DM).
+  for (double u = 0.1; u <= 0.5; u += 0.1) {
+    McTaskSet ts({{"a", 10, 10, 10 * u, 10 * u, CritLevel::LO},
+                  {"b", 37, 37, 37 * u, 37 * u, CritLevel::LO}});
+    if (RmWorstCaseTest{}.schedulable(ts)) {
+      EXPECT_TRUE(analyze_rta_worst_case(ts).schedulable) << u;
+    }
+  }
+}
+
+TEST(RmWorstCaseTest, RejectsConstrainedDeadlines) {
+  McTaskSet ts({{"t", 10, 5, 1, 1, CritLevel::LO}});
+  EXPECT_THROW((void)RmWorstCaseTest{}.schedulable(ts),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::mcs

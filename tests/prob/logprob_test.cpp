@@ -1,0 +1,106 @@
+#include "ftmc/prob/logprob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::prob {
+namespace {
+
+TEST(LogProb, DefaultIsOne) {
+  EXPECT_DOUBLE_EQ(LogProb{}.linear(), 1.0);
+  EXPECT_EQ(LogProb{}.log(), 0.0);
+}
+
+TEST(LogProb, FromLinearRoundTrip) {
+  for (const double p : {1.0, 0.5, 0.1, 1e-5, 1e-100}) {
+    EXPECT_NEAR(LogProb::from_linear(p).linear(), p, p * 1e-12);
+  }
+  EXPECT_EQ(LogProb::from_linear(0.0).linear(), 0.0);
+}
+
+TEST(LogProb, FromLinearRejectsOutOfRange) {
+  EXPECT_THROW(LogProb::from_linear(-0.1), ContractViolation);
+  EXPECT_THROW(LogProb::from_linear(1.1), ContractViolation);
+}
+
+TEST(LogProb, FromLogRejectsPositive) {
+  EXPECT_THROW(LogProb::from_log(0.5), ContractViolation);
+}
+
+TEST(LogProb, MultiplicationAddsLogs) {
+  const auto a = LogProb::from_linear(1e-8);
+  const auto b = LogProb::from_linear(1e-9);
+  EXPECT_NEAR((a * b).log(), std::log(1e-17), 1e-9);
+}
+
+TEST(LogProb, MultiplicationBelowLinearUnderflow) {
+  // 1e-200 * 1e-200 underflows doubles; stays exact in log domain.
+  const auto a = LogProb::from_linear(1e-200);
+  const auto product = a * a;
+  EXPECT_NEAR(product.log10(), -400.0, 1e-9);
+  EXPECT_EQ(product.linear(), 0.0);  // expected underflow in linear view
+}
+
+TEST(LogProb, PowScalesLog) {
+  const auto p = LogProb::from_linear(0.9);
+  EXPECT_NEAR(p.pow(1e6).log(), 1e6 * std::log(0.9), 1e-6);
+  EXPECT_EQ(p.pow(0.0).log(), 0.0);
+}
+
+TEST(LogProb, PowRejectsNegativeExponent) {
+  EXPECT_THROW((void)LogProb::from_linear(0.5).pow(-1.0), ContractViolation);
+}
+
+TEST(LogProb, ComplementEndpoints) {
+  EXPECT_DOUBLE_EQ(LogProb::one().complement().linear(), 0.0);
+  EXPECT_DOUBLE_EQ(LogProb::zero().complement().linear(), 1.0);
+}
+
+TEST(LogProb, ComplementPreservesTinyResiduals) {
+  // p = (1 - 1e-10)^(1e6) => 1 - p ~ 1e-4; naive doubles would be fine
+  // here, but at (1 - 1e-15)^(1e3) => 1 - p ~ 1e-12 the naive path loses
+  // most digits while LogProb keeps ~15.
+  const auto survival_p = survival(1e-15, 1e3);
+  EXPECT_NEAR(survival_p.complement().linear(), 1e-12, 1e-24);
+}
+
+TEST(LogProb, ComplementInvolutionModuloRounding) {
+  const auto p = LogProb::from_linear(0.3);
+  EXPECT_NEAR(p.complement().complement().linear(), 0.3, 1e-12);
+}
+
+TEST(LogProb, OrderingMatchesLinearOrdering) {
+  const auto small = LogProb::from_linear(1e-10);
+  const auto large = LogProb::from_linear(1e-2);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small, small);
+}
+
+TEST(LogProb, SurvivalHelper) {
+  // 10 rounds at f = 0.1: (0.9)^10.
+  EXPECT_NEAR(survival(0.1, 10.0).linear(), std::pow(0.9, 10.0), 1e-12);
+}
+
+TEST(LogProb, Log10MatchesLinear) {
+  EXPECT_NEAR(LogProb::from_linear(1e-7).log10(), -7.0, 1e-9);
+}
+
+TEST(LogProb, StreamPrintsLinearWhenRepresentable) {
+  std::ostringstream os;
+  os << LogProb::from_linear(0.25);
+  EXPECT_EQ(os.str(), "0.25");
+}
+
+TEST(LogProb, StreamFallsBackToPowerOfTenBelowUnderflow) {
+  std::ostringstream os;
+  os << LogProb::from_log(-1000.0);  // e^-1000 underflows linear doubles
+  EXPECT_NE(os.str().find("10^"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftmc::prob

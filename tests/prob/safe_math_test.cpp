@@ -1,0 +1,119 @@
+#include "ftmc/prob/safe_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::prob {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Log1mExp, BoundaryValues) {
+  EXPECT_EQ(log1mexp(0.0), -kInf);                 // 1 - e^0 = 0
+  EXPECT_NEAR(log1mexp(-kInf), 0.0, 1e-15);        // 1 - 0 = 1
+}
+
+TEST(Log1mExp, MatchesNaiveForModerateArguments) {
+  for (const double x : {-0.1, -0.5, -1.0, -2.0, -5.0, -20.0}) {
+    EXPECT_NEAR(log1mexp(x), std::log(1.0 - std::exp(x)), 1e-12)
+        << "x = " << x;
+  }
+}
+
+TEST(Log1mExp, AccurateNearZeroWhereNaiveCancels) {
+  // x = -1e-12: 1 - e^x ~ 1e-12; the naive formula loses ~4 digits, the
+  // stable one keeps full relative precision.
+  const double x = -1e-12;
+  EXPECT_NEAR(log1mexp(x), std::log(1e-12), 1e-6);
+}
+
+TEST(Log1mExp, AccurateForVeryNegative) {
+  // 1 - e^-50 ~ 1 - 2e-22: log ~ -2e-22, representable only via log1p.
+  const double x = -50.0;
+  EXPECT_NEAR(log1mexp(x), -std::exp(-50.0), 1e-30);
+}
+
+TEST(Log1mExp, RejectsPositiveArgument) {
+  EXPECT_THROW(log1mexp(0.5), ContractViolation);
+}
+
+TEST(LogPow, BasicIdentities) {
+  EXPECT_EQ(log_pow(0.5, 0), 0.0);   // p^0 = 1
+  EXPECT_EQ(log_pow(0.0, 0), 0.0);   // 0^0 = 1 by convention here
+  EXPECT_EQ(log_pow(0.0, 3), -kInf);
+  EXPECT_EQ(log_pow(1.0, 100), 0.0);
+  EXPECT_NEAR(log_pow(0.1, 3), 3.0 * std::log(0.1), 1e-12);
+}
+
+TEST(LogPow, HandlesTinyProbabilitiesWithoutUnderflow) {
+  // f = 1e-5, n = 9 -> f^n = 1e-45: fine in log domain.
+  EXPECT_NEAR(log_pow(1e-5, 9), -45.0 * std::log(10.0), 1e-9);
+}
+
+TEST(LogPow, RejectsBadArguments) {
+  EXPECT_THROW(log_pow(1.5, 2), ContractViolation);
+  EXPECT_THROW(log_pow(-0.1, 2), ContractViolation);
+  EXPECT_THROW(log_pow(0.5, -1), ContractViolation);
+}
+
+TEST(PowProb, MatchesStdPow) {
+  EXPECT_NEAR(pow_prob(1e-5, 3), 1e-15, 1e-27);
+  EXPECT_NEAR(pow_prob(0.25, 2), 0.0625, 1e-15);
+  EXPECT_EQ(pow_prob(0.7, 0), 1.0);
+  EXPECT_EQ(pow_prob(0.0, 5), 0.0);
+}
+
+TEST(LogSurvival, BasicValues) {
+  EXPECT_EQ(log_survival(0.0, 1e9), 0.0);  // nothing ever fails
+  EXPECT_EQ(log_survival(1.0, 1.0), -kInf);
+  EXPECT_EQ(log_survival(1.0, 0.0), 0.0);  // zero trials always survive
+  EXPECT_NEAR(log_survival(0.5, 2.0), 2.0 * std::log(0.5), 1e-12);
+}
+
+TEST(LogSurvival, TinyProbabilityHugeCount) {
+  // (1 - 1e-10)^(1e6): log = 1e6 * log1p(-1e-10) ~ -1e-4 with full
+  // relative accuracy (naive (1-p) would round to 1).
+  const double log_s = log_survival(1e-10, 1e6);
+  EXPECT_NEAR(log_s, -1e-4, 1e-12);
+}
+
+TEST(ComplementFromLog, PreservesSmallComplements) {
+  // R = exp(-1e-8) -> 1 - R = 1e-8 - 5e-17 + O(1e-25), with full relative
+  // accuracy (naive 1.0 - std::exp(-1e-8) would keep only ~8 digits).
+  EXPECT_NEAR(complement_from_log(-1e-8), 1e-8 - 5e-17, 1e-22);
+  EXPECT_NEAR(complement_from_log(0.0), 0.0, 0.0);
+  EXPECT_NEAR(complement_from_log(-kInf), 1.0, 0.0);
+}
+
+TEST(UnionBoundPair, ExactForIndependentEvents) {
+  EXPECT_DOUBLE_EQ(union_bound_pair(0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(union_bound_pair(0.0, 0.3), 0.3);
+  EXPECT_DOUBLE_EQ(union_bound_pair(1.0, 0.3), 1.0);
+}
+
+TEST(UnionBoundPair, NoCancellationForTinyInputs) {
+  const double v = union_bound_pair(1e-18, 1e-18);
+  EXPECT_NEAR(v, 2e-18, 1e-30);
+}
+
+// Property sweep: log1mexp and complement_from_log are exact inverses of
+// each other across 30 orders of magnitude.
+class ProbRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbRoundTrip, ComplementOfComplementIsIdentity) {
+  const double p = GetParam();
+  const double log_1mp = log_survival(p, 1.0);   // log(1-p)
+  const double back = complement_from_log(log_1mp);  // 1-(1-p) = p
+  EXPECT_NEAR(back, p, p * 1e-12 + 1e-300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, ProbRoundTrip,
+                         ::testing::Values(1e-30, 1e-20, 1e-15, 1e-10, 1e-5,
+                                           1e-3, 0.1, 0.5, 0.9, 0.999));
+
+}  // namespace
+}  // namespace ftmc::prob

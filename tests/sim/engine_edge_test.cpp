@@ -1,0 +1,180 @@
+/// Edge-case battery for the simulator engine: boundary semantics, mode
+/// reset interactions, stale release invalidation, and tie-breaking.
+#include <gtest/gtest.h>
+
+#include "ftmc/sim/engine.hpp"
+
+namespace ftmc::sim {
+namespace {
+
+SimTask task(const std::string& name, Tick period, Tick wcet,
+             CritLevel crit = CritLevel::LO, int max_attempts = 1,
+             int adapt_threshold = 1, double f = 0.0) {
+  SimTask t;
+  t.name = name;
+  t.period = period;
+  t.deadline = period;
+  t.wcet = wcet;
+  t.crit = crit;
+  t.max_attempts = max_attempts;
+  t.adapt_threshold = adapt_threshold;
+  t.failure_prob = f;
+  t.virtual_deadline = period;
+  return t;
+}
+
+TEST(EngineEdge, HorizonIsHalfOpen) {
+  // Job releases at 0, runs 1000; horizon exactly 1000: the completion
+  // event at t == horizon is outside [0, horizon) and must not count.
+  SimConfig c;
+  c.policy = PolicyKind::kEdf;
+  c.horizon = 1000;
+  Simulator sim({task("t", 10'000, 1'000)}, c);
+  const SimStats s = sim.run();
+  EXPECT_EQ(s.per_task[0].completed, 0u);
+  EXPECT_EQ(s.busy_time, 1000);  // the work itself was charged
+
+  SimConfig c2 = c;
+  c2.horizon = 1001;
+  Simulator sim2({task("t", 10'000, 1'000)}, c2);
+  EXPECT_EQ(sim2.run().per_task[0].completed, 1u);
+}
+
+TEST(EngineEdge, BusyTimeNeverExceedsHorizon) {
+  SimConfig c;
+  c.policy = PolicyKind::kEdf;
+  c.horizon = 777'777;
+  Simulator sim({task("a", 1000, 600), task("b", 700, 399)}, c);
+  const SimStats s = sim.run();
+  EXPECT_LE(s.busy_time, s.horizon);
+  EXPECT_GT(s.busy_time, 0);
+}
+
+TEST(EngineEdge, DegradationEndsAtModeReset) {
+  // Threshold-0 HI task triggers at every release while in LO mode; with
+  // reset-on-idle the system oscillates. LO releases alternate between
+  // stretched (HI mode) and normal (LO mode) gaps — total released jobs
+  // must land strictly between the always-degraded and never-degraded
+  // counts.
+  SimConfig c;
+  c.policy = PolicyKind::kEdfVd;
+  c.adaptation = mcs::AdaptationKind::kDegradation;
+  c.degradation_factor = 4.0;
+  c.mode_reset_on_idle = true;
+  c.horizon = 10'000'000;
+  Simulator sim({task("hi", 10'000, 10, CritLevel::HI, 2, 0),
+                 task("lo", 1'000, 10)},
+                c);
+  const SimStats s = sim.run();
+  EXPECT_GT(s.mode_switches, 1u);
+  EXPECT_GT(s.mode_resets, 0u);
+  const std::uint64_t never_degraded = 10'000;
+  const std::uint64_t always_degraded = 2'500;
+  EXPECT_GT(s.per_task[1].released, always_degraded);
+  EXPECT_LT(s.per_task[1].released, never_degraded);
+}
+
+TEST(EngineEdge, KillResetKillCycleCountsEachSwitch) {
+  // Killing with reset-on-idle: each HI round (threshold 0 at release)
+  // re-switches; LO tasks are re-admitted at each idle instant. The LO
+  // task still makes progress between switches.
+  SimConfig c;
+  c.policy = PolicyKind::kEdfVd;
+  c.adaptation = mcs::AdaptationKind::kKilling;
+  c.mode_reset_on_idle = true;
+  c.horizon = 1'000'000;
+  Simulator sim({task("hi", 10'000, 10, CritLevel::HI, 2, 0),
+                 task("lo", 1'000, 10)},
+                c);
+  const SimStats s = sim.run();
+  EXPECT_EQ(s.mode_switches, 100u);  // one per HI release
+  EXPECT_EQ(s.mode_resets, 100u);
+  EXPECT_GT(s.per_task[1].completed, 100u);
+}
+
+TEST(EngineEdge, FixedPriorityTieBreaksByReleaseThenIndex) {
+  // Two tasks with equal priority released together: the earlier index
+  // wins the first slot; both still complete.
+  SimTask a = task("a", 1000, 100);
+  SimTask b = task("b", 1000, 100);
+  a.priority = 5;
+  b.priority = 5;
+  SimConfig c;
+  c.policy = PolicyKind::kFixedPriority;
+  c.horizon = 1000;
+  c.trace_capacity = 100;
+  Simulator sim({a, b}, c);
+  const SimStats s = sim.run();
+  EXPECT_EQ(s.per_task[0].completed, 1u);
+  EXPECT_EQ(s.per_task[1].completed, 1u);
+  for (const TraceEvent& ev : sim.trace()) {
+    if (ev.kind == TraceKind::kStart) {
+      EXPECT_EQ(ev.task, 0u);
+      break;
+    }
+  }
+}
+
+TEST(EngineEdge, ModeSwitchReordersReadyQueueInstantly) {
+  // Before the switch a LO job with an early absolute deadline outranks
+  // the HI job (virtual deadline even earlier though). Construct the
+  // opposite: HI job with LATE virtual deadline loses to LO pre-switch;
+  // at the switch the HI job's true deadline (earlier than LO's) takes
+  // over and it must win the processor immediately.
+  SimTask hi = task("hi", 10'000, 500, CritLevel::HI, 50, 1, 0.9);
+  hi.deadline = 8'000;
+  hi.virtual_deadline = 8'000;  // x = 1: no VD advantage pre-switch
+  SimTask lo = task("lo", 9'000, 1'000);
+  lo.deadline = 3'500;  // beats the HI job in LO mode
+  lo.virtual_deadline = 3'500;
+  SimConfig c;
+  c.policy = PolicyKind::kEdfVd;
+  c.adaptation = mcs::AdaptationKind::kKilling;
+  c.horizon = 9'000;
+  c.trace_capacity = 1000;
+  Simulator sim({hi, lo}, c);
+  const SimStats s = sim.run();
+  // The LO job runs first (earlier key); the HI job re-executes until it
+  // succeeds (up to 50 attempts of 500 fit the horizon comfortably). If
+  // any attempt faulted, the switch fired exactly once.
+  EXPECT_EQ(s.per_task[0].completed, 1u);
+  EXPECT_EQ(s.per_task[1].completed, 1u);  // completed before the switch
+  if (s.per_task[0].faults > 0) {
+    EXPECT_EQ(s.mode_switches, 1u);
+  }
+}
+
+TEST(EngineEdge, ZeroUtilizationIdleGapsHandled) {
+  // Long idle gaps between sparse jobs: the engine must jump over them
+  // without busy-waiting (correctness proxy: exact busy time).
+  SimConfig c;
+  c.policy = PolicyKind::kEdf;
+  c.horizon = 100'000'000;
+  Simulator sim({task("sparse", 10'000'000, 5)}, c);
+  const SimStats s = sim.run();
+  EXPECT_EQ(s.per_task[0].released, 10u);
+  EXPECT_EQ(s.busy_time, 50);
+}
+
+TEST(EngineEdge, ManyTasksStressDispatch) {
+  // 64 tasks at ~1.2% each: the O(n) ready-scan must stay correct under
+  // heavy interleaving (checked via zero misses and full completions).
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 64; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    tasks.push_back(task(name, 1'000 + 37 * i, 12 + (i % 5)));
+  }
+  SimConfig c;
+  c.policy = PolicyKind::kEdf;
+  c.horizon = 5'000'000;
+  Simulator sim(tasks, c);
+  const SimStats s = sim.run();
+  for (const auto& t : s.per_task) {
+    EXPECT_EQ(t.deadline_misses, 0u);
+    EXPECT_GT(t.released, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ftmc::sim

@@ -1,0 +1,174 @@
+#include "ftmc/taskgen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::taskgen {
+namespace {
+
+TEST(GeneratorParams, DefaultsAreThePaperSettings) {
+  const GeneratorParams p;
+  EXPECT_DOUBLE_EQ(p.u_min, 0.01);
+  EXPECT_DOUBLE_EQ(p.u_max, 0.2);
+  EXPECT_DOUBLE_EQ(p.period_min, 200.0);
+  EXPECT_DOUBLE_EQ(p.period_max, 2000.0);
+  EXPECT_DOUBLE_EQ(p.p_hi, 0.2);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(GeneratorParams, ValidateRejectsBadRanges) {
+  GeneratorParams p;
+  p.u_min = 0.3;
+  p.u_max = 0.2;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = GeneratorParams{};
+  p.period_min = 0.0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = GeneratorParams{};
+  p.p_hi = 1.5;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = GeneratorParams{};
+  p.failure_prob = 1.0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(Generator, HitsTargetUtilizationExactly) {
+  GeneratorParams p;
+  p.target_utilization = 0.6;
+  Rng rng(123);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto ts = generate_task_set(p, rng);
+    EXPECT_NEAR(ts.total_utilization(), 0.6, p.min_fill_utilization + 1e-9);
+    EXPECT_LE(ts.total_utilization(), 0.6 + 1e-9);
+  }
+}
+
+TEST(Generator, TaskParametersWithinRanges) {
+  GeneratorParams p;
+  p.target_utilization = 0.8;
+  Rng rng(7);
+  const auto ts = generate_task_set(p, rng);
+  for (const auto& task : ts.tasks()) {
+    EXPECT_GE(task.period, p.period_min);
+    EXPECT_LE(task.period, p.period_max);
+    EXPECT_TRUE(task.implicit_deadline());
+    // Utilization within [u-, u+] except the clipped final task (below).
+    EXPECT_LE(task.utilization(), p.u_max + 1e-12);
+    EXPECT_GT(task.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(task.failure_prob, p.failure_prob);
+  }
+}
+
+TEST(Generator, BothLevelsPresentWhenRequested) {
+  GeneratorParams p;
+  p.target_utilization = 0.4;
+  Rng rng(99);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto ts = generate_task_set(p, rng);
+    EXPECT_GT(ts.count(CritLevel::HI), 0u);
+    EXPECT_GT(ts.count(CritLevel::LO), 0u);
+  }
+}
+
+TEST(Generator, MappingApplied) {
+  GeneratorParams p;
+  p.mapping = {Dal::B, Dal::D};
+  Rng rng(5);
+  const auto ts = generate_task_set(p, rng);
+  for (const auto& task : ts.tasks()) {
+    EXPECT_TRUE(task.dal == Dal::B || task.dal == Dal::D);
+  }
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  GeneratorParams p;
+  Rng a(2024), b(2024);
+  const auto ts_a = generate_task_set(p, a);
+  const auto ts_b = generate_task_set(p, b);
+  ASSERT_EQ(ts_a.size(), ts_b.size());
+  for (std::size_t i = 0; i < ts_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ts_a[i].period, ts_b[i].period);
+    EXPECT_DOUBLE_EQ(ts_a[i].wcet, ts_b[i].wcet);
+    EXPECT_EQ(ts_a[i].dal, ts_b[i].dal);
+  }
+}
+
+TEST(Generator, HiFractionRoughlyMatchesPHi) {
+  GeneratorParams p;
+  p.target_utilization = 1.0;
+  p.ensure_both_levels = false;
+  Rng rng(11);
+  std::size_t hi = 0, total = 0;
+  for (int rep = 0; rep < 400; ++rep) {
+    const auto ts = generate_task_set(p, rng);
+    hi += ts.count(CritLevel::HI);
+    total += ts.size();
+  }
+  const double frac = static_cast<double>(hi) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.2, 0.03);  // ~4000 draws: 3 sigma ~ 0.02
+}
+
+TEST(Generator, LogUniformPeriodsSkewTowardShort) {
+  // Over [200, 2000] the uniform draw has mean 1100; the log-uniform
+  // draw has mean (T+ - T-)/ln(T+/T-) ~ 782. Separating the two sample
+  // means at 4 sigma needs only a few hundred tasks.
+  GeneratorParams uniform;
+  uniform.target_utilization = 2.0;
+  uniform.ensure_both_levels = false;
+  GeneratorParams log_uniform = uniform;
+  log_uniform.period_distribution = PeriodDistribution::kLogUniform;
+
+  const auto mean_period = [](const GeneratorParams& p, std::uint64_t seed) {
+    Rng rng(seed);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+      const auto ts = generate_task_set(p, rng);
+      for (const auto& t : ts.tasks()) sum += t.period;
+      count += ts.size();
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double mu_uniform = mean_period(uniform, 5);
+  const double mu_log = mean_period(log_uniform, 5);
+  EXPECT_GT(mu_uniform, 1000.0);
+  EXPECT_LT(mu_log, 900.0);
+}
+
+TEST(Generator, LogUniformStaysWithinRange) {
+  GeneratorParams p;
+  p.period_distribution = PeriodDistribution::kLogUniform;
+  p.target_utilization = 1.0;
+  Rng rng(77);
+  const auto ts = generate_task_set(p, rng);
+  for (const auto& t : ts.tasks()) {
+    EXPECT_GE(t.period, p.period_min);
+    EXPECT_LE(t.period, p.period_max);
+  }
+}
+
+TEST(Uunifast, SumsExactly) {
+  Rng rng(31);
+  for (const std::size_t n : {1u, 2u, 5u, 20u}) {
+    const auto u = uunifast(n, 0.9, rng);
+    ASSERT_EQ(u.size(), n);
+    double sum = 0.0;
+    for (const double x : u) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 0.9, 1e-12);
+  }
+}
+
+TEST(Uunifast, RejectsDegenerateInput) {
+  Rng rng(1);
+  EXPECT_THROW(uunifast(0, 0.5, rng), ContractViolation);
+  EXPECT_THROW(uunifast(3, 0.0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmc::taskgen
