@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_df_sweep"
+  "../bench/ablation_df_sweep.pdb"
+  "CMakeFiles/ablation_df_sweep.dir/ablation_df_sweep.cpp.o"
+  "CMakeFiles/ablation_df_sweep.dir/ablation_df_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_df_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_os_hours"
+  "../bench/ablation_os_hours.pdb"
+  "CMakeFiles/ablation_os_hours.dir/ablation_os_hours.cpp.o"
+  "CMakeFiles/ablation_os_hours.dir/ablation_os_hours.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_os_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_safety_standards"
+  "../bench/ablation_safety_standards.pdb"
+  "CMakeFiles/ablation_safety_standards.dir/ablation_safety_standards.cpp.o"
+  "CMakeFiles/ablation_safety_standards.dir/ablation_safety_standards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_safety_standards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scheduler_comparison"
+  "../bench/ablation_scheduler_comparison.pdb"
+  "CMakeFiles/ablation_scheduler_comparison.dir/ablation_scheduler_comparison.cpp.o"
+  "CMakeFiles/ablation_scheduler_comparison.dir/ablation_scheduler_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_checkpointed_fts"
+  "../bench/extension_checkpointed_fts.pdb"
+  "CMakeFiles/extension_checkpointed_fts.dir/extension_checkpointed_fts.cpp.o"
+  "CMakeFiles/extension_checkpointed_fts.dir/extension_checkpointed_fts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_checkpointed_fts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_multicore"
+  "../bench/extension_multicore.pdb"
+  "CMakeFiles/extension_multicore.dir/extension_multicore.cpp.o"
+  "CMakeFiles/extension_multicore.dir/extension_multicore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_fms_task_killing"
+  "../bench/fig1_fms_task_killing.pdb"
+  "CMakeFiles/fig1_fms_task_killing.dir/fig1_fms_task_killing.cpp.o"
+  "CMakeFiles/fig1_fms_task_killing.dir/fig1_fms_task_killing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fms_task_killing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_fms_degradation"
+  "../bench/fig2_fms_degradation.pdb"
+  "CMakeFiles/fig2_fms_degradation.dir/fig2_fms_degradation.cpp.o"
+  "CMakeFiles/fig2_fms_degradation.dir/fig2_fms_degradation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fms_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

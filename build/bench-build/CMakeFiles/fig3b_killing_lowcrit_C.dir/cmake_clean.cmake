@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_killing_lowcrit_C"
+  "../bench/fig3b_killing_lowcrit_C.pdb"
+  "CMakeFiles/fig3b_killing_lowcrit_C.dir/fig3b_killing_lowcrit_C.cpp.o"
+  "CMakeFiles/fig3b_killing_lowcrit_C.dir/fig3b_killing_lowcrit_C.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_killing_lowcrit_C.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_degradation_lowcrit_DE"
+  "../bench/fig3c_degradation_lowcrit_DE.pdb"
+  "CMakeFiles/fig3c_degradation_lowcrit_DE.dir/fig3c_degradation_lowcrit_DE.cpp.o"
+  "CMakeFiles/fig3c_degradation_lowcrit_DE.dir/fig3c_degradation_lowcrit_DE.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_degradation_lowcrit_DE.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

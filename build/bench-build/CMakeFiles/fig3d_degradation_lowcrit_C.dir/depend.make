@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3d_degradation_lowcrit_C.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_bench_common.dir/common/experiment_util.cpp.o"
+  "CMakeFiles/ftmc_bench_common.dir/common/experiment_util.cpp.o.d"
+  "libftmc_bench_common.a"
+  "libftmc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_analysis"
+  "../bench/micro_analysis.pdb"
+  "CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o"
+  "CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_safety_standards"
+  "../bench/table1_safety_standards.pdb"
+  "CMakeFiles/table1_safety_standards.dir/table1_safety_standards.cpp.o"
+  "CMakeFiles/table1_safety_standards.dir/table1_safety_standards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_safety_standards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_example_motivation"
+  "../bench/table2_example_motivation.pdb"
+  "CMakeFiles/table2_example_motivation.dir/table2_example_motivation.cpp.o"
+  "CMakeFiles/table2_example_motivation.dir/table2_example_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_example_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_problem_conversion"
+  "../bench/table3_problem_conversion.pdb"
+  "CMakeFiles/table3_problem_conversion.dir/table3_problem_conversion.cpp.o"
+  "CMakeFiles/table3_problem_conversion.dir/table3_problem_conversion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_problem_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_fms_usecase"
+  "../bench/table4_fms_usecase.pdb"
+  "CMakeFiles/table4_fms_usecase.dir/table4_fms_usecase.cpp.o"
+  "CMakeFiles/table4_fms_usecase.dir/table4_fms_usecase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fms_usecase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

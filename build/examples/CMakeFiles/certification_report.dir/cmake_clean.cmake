@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/certification_report"
+  "../examples-bin/certification_report.pdb"
+  "CMakeFiles/certification_report.dir/certification_report.cpp.o"
+  "CMakeFiles/certification_report.dir/certification_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certification_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

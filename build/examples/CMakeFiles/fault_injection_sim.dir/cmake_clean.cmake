@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/fault_injection_sim"
+  "../examples-bin/fault_injection_sim.pdb"
+  "CMakeFiles/fault_injection_sim.dir/fault_injection_sim.cpp.o"
+  "CMakeFiles/fault_injection_sim.dir/fault_injection_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

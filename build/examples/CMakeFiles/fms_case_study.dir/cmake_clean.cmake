@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/fms_case_study"
+  "../examples-bin/fms_case_study.pdb"
+  "CMakeFiles/fms_case_study.dir/fms_case_study.cpp.o"
+  "CMakeFiles/fms_case_study.dir/fms_case_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fms_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

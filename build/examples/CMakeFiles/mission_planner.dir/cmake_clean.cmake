@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/mission_planner"
+  "../examples-bin/mission_planner.pdb"
+  "CMakeFiles/mission_planner.dir/mission_planner.cpp.o"
+  "CMakeFiles/mission_planner.dir/mission_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

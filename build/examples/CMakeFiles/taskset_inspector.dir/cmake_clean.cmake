@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/taskset_inspector"
+  "../examples-bin/taskset_inspector.pdb"
+  "CMakeFiles/taskset_inspector.dir/taskset_inspector.cpp.o"
+  "CMakeFiles/taskset_inspector.dir/taskset_inspector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_common.dir/src/contracts.cpp.o"
+  "CMakeFiles/ftmc_common.dir/src/contracts.cpp.o.d"
+  "CMakeFiles/ftmc_common.dir/src/criticality.cpp.o"
+  "CMakeFiles/ftmc_common.dir/src/criticality.cpp.o.d"
+  "libftmc_common.a"
+  "libftmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

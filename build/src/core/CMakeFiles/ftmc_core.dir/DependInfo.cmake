@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/analysis.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/analysis.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/core/src/checkpointing.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/checkpointing.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/checkpointing.cpp.o.d"
+  "/root/repo/src/core/src/conversion.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/conversion.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/conversion.cpp.o.d"
+  "/root/repo/src/core/src/design_space.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/design_space.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/design_space.cpp.o.d"
+  "/root/repo/src/core/src/fault_model.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/fault_model.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/fault_model.cpp.o.d"
+  "/root/repo/src/core/src/ft_checkpoint.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/ft_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/ft_checkpoint.cpp.o.d"
+  "/root/repo/src/core/src/ft_scheduler.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/ft_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/ft_scheduler.cpp.o.d"
+  "/root/repo/src/core/src/ft_task.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/ft_task.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/ft_task.cpp.o.d"
+  "/root/repo/src/core/src/heterogeneous.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/heterogeneous.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/src/partitioned.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/partitioned.cpp.o.d"
+  "/root/repo/src/core/src/profiles.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/profiles.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/profiles.cpp.o.d"
+  "/root/repo/src/core/src/report.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/report.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/report.cpp.o.d"
+  "/root/repo/src/core/src/safety.cpp" "src/core/CMakeFiles/ftmc_core.dir/src/safety.cpp.o" "gcc" "src/core/CMakeFiles/ftmc_core.dir/src/safety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/ftmc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/ftmc_mcs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

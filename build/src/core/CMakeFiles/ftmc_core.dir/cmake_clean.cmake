@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_core.dir/src/analysis.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/checkpointing.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/checkpointing.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/conversion.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/conversion.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/design_space.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/design_space.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/fault_model.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/fault_model.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/ft_checkpoint.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/ft_checkpoint.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/ft_scheduler.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/ft_scheduler.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/ft_task.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/ft_task.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/heterogeneous.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/heterogeneous.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/partitioned.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/partitioned.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/profiles.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/profiles.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/report.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/report.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/src/safety.cpp.o"
+  "CMakeFiles/ftmc_core.dir/src/safety.cpp.o.d"
+  "libftmc_core.a"
+  "libftmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

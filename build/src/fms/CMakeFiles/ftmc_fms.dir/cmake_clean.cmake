@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_fms.dir/src/fms.cpp.o"
+  "CMakeFiles/ftmc_fms.dir/src/fms.cpp.o.d"
+  "libftmc_fms.a"
+  "libftmc_fms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_fms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

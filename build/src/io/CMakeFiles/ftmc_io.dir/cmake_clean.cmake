@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_io.dir/src/json.cpp.o"
+  "CMakeFiles/ftmc_io.dir/src/json.cpp.o.d"
+  "CMakeFiles/ftmc_io.dir/src/table.cpp.o"
+  "CMakeFiles/ftmc_io.dir/src/table.cpp.o.d"
+  "CMakeFiles/ftmc_io.dir/src/taskset_io.cpp.o"
+  "CMakeFiles/ftmc_io.dir/src/taskset_io.cpp.o.d"
+  "libftmc_io.a"
+  "libftmc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

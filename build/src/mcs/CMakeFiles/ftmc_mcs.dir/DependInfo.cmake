@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcs/src/edf.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf.cpp.o.d"
+  "/root/repo/src/mcs/src/edf_vd.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf_vd.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf_vd.cpp.o.d"
+  "/root/repo/src/mcs/src/edf_vd_degradation.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf_vd_degradation.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/edf_vd_degradation.cpp.o.d"
+  "/root/repo/src/mcs/src/fixed_priority.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/fixed_priority.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/fixed_priority.cpp.o.d"
+  "/root/repo/src/mcs/src/mc_dbf.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/mc_dbf.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/mc_dbf.cpp.o.d"
+  "/root/repo/src/mcs/src/opa.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/opa.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/opa.cpp.o.d"
+  "/root/repo/src/mcs/src/sensitivity.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/sensitivity.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/sensitivity.cpp.o.d"
+  "/root/repo/src/mcs/src/task.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/task.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/task.cpp.o.d"
+  "/root/repo/src/mcs/src/utilization_bounds.cpp" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/utilization_bounds.cpp.o" "gcc" "src/mcs/CMakeFiles/ftmc_mcs.dir/src/utilization_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_mcs.dir/src/edf.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/edf.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/edf_vd.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/edf_vd.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/edf_vd_degradation.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/edf_vd_degradation.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/fixed_priority.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/fixed_priority.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/mc_dbf.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/mc_dbf.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/opa.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/opa.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/sensitivity.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/sensitivity.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/task.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/task.cpp.o.d"
+  "CMakeFiles/ftmc_mcs.dir/src/utilization_bounds.cpp.o"
+  "CMakeFiles/ftmc_mcs.dir/src/utilization_bounds.cpp.o.d"
+  "libftmc_mcs.a"
+  "libftmc_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_prob.dir/src/logprob.cpp.o"
+  "CMakeFiles/ftmc_prob.dir/src/logprob.cpp.o.d"
+  "libftmc_prob.a"
+  "libftmc_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/engine.cpp" "src/sim/CMakeFiles/ftmc_sim.dir/src/engine.cpp.o" "gcc" "src/sim/CMakeFiles/ftmc_sim.dir/src/engine.cpp.o.d"
+  "/root/repo/src/sim/src/gantt.cpp" "src/sim/CMakeFiles/ftmc_sim.dir/src/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/ftmc_sim.dir/src/gantt.cpp.o.d"
+  "/root/repo/src/sim/src/model.cpp" "src/sim/CMakeFiles/ftmc_sim.dir/src/model.cpp.o" "gcc" "src/sim/CMakeFiles/ftmc_sim.dir/src/model.cpp.o.d"
+  "/root/repo/src/sim/src/monte_carlo.cpp" "src/sim/CMakeFiles/ftmc_sim.dir/src/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/ftmc_sim.dir/src/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/src/partitioned_sim.cpp" "src/sim/CMakeFiles/ftmc_sim.dir/src/partitioned_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ftmc_sim.dir/src/partitioned_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/ftmc_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/ftmc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_sim.dir/src/engine.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/src/engine.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/src/gantt.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/src/gantt.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/src/model.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/src/model.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/src/monte_carlo.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/src/monte_carlo.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/src/partitioned_sim.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/src/partitioned_sim.cpp.o.d"
+  "libftmc_sim.a"
+  "libftmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_taskgen.dir/src/generator.cpp.o"
+  "CMakeFiles/ftmc_taskgen.dir/src/generator.cpp.o.d"
+  "libftmc_taskgen.a"
+  "libftmc_taskgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_taskgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

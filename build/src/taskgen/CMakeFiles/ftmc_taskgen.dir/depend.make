@@ -1,0 +1,2 @@
+# Empty dependencies file for ftmc_taskgen.
+# This may be replaced when dependencies are built.

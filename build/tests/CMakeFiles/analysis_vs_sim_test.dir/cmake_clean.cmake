@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_vs_sim_test.dir/integration/analysis_vs_sim_test.cpp.o"
+  "CMakeFiles/analysis_vs_sim_test.dir/integration/analysis_vs_sim_test.cpp.o.d"
+  "analysis_vs_sim_test"
+  "analysis_vs_sim_test.pdb"
+  "analysis_vs_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_vs_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

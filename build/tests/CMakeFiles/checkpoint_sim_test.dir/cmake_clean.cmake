@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_sim_test.dir/sim/checkpoint_sim_test.cpp.o"
+  "CMakeFiles/checkpoint_sim_test.dir/sim/checkpoint_sim_test.cpp.o.d"
+  "checkpoint_sim_test"
+  "checkpoint_sim_test.pdb"
+  "checkpoint_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpointing_test.dir/core/checkpointing_test.cpp.o"
+  "CMakeFiles/checkpointing_test.dir/core/checkpointing_test.cpp.o.d"
+  "checkpointing_test"
+  "checkpointing_test.pdb"
+  "checkpointing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpointing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for edf_vd_degradation_test.
+# This may be replaced when dependencies are built.

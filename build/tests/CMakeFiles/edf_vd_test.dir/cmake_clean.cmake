@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_vd_test.dir/mcs/edf_vd_test.cpp.o"
+  "CMakeFiles/edf_vd_test.dir/mcs/edf_vd_test.cpp.o.d"
+  "edf_vd_test"
+  "edf_vd_test.pdb"
+  "edf_vd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_vd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_assumption_test.dir/core/exec_assumption_test.cpp.o"
+  "CMakeFiles/exec_assumption_test.dir/core/exec_assumption_test.cpp.o.d"
+  "exec_assumption_test"
+  "exec_assumption_test.pdb"
+  "exec_assumption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_assumption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

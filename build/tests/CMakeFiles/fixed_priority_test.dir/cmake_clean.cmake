@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_priority_test.dir/mcs/fixed_priority_test.cpp.o"
+  "CMakeFiles/fixed_priority_test.dir/mcs/fixed_priority_test.cpp.o.d"
+  "fixed_priority_test"
+  "fixed_priority_test.pdb"
+  "fixed_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

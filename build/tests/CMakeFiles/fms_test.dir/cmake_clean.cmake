@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fms_test.dir/fms/fms_test.cpp.o"
+  "CMakeFiles/fms_test.dir/fms/fms_test.cpp.o.d"
+  "fms_test"
+  "fms_test.pdb"
+  "fms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

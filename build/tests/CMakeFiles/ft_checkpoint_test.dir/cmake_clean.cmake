@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_checkpoint_test.dir/core/ft_checkpoint_test.cpp.o"
+  "CMakeFiles/ft_checkpoint_test.dir/core/ft_checkpoint_test.cpp.o.d"
+  "ft_checkpoint_test"
+  "ft_checkpoint_test.pdb"
+  "ft_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

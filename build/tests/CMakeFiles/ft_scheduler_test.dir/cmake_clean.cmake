@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_scheduler_test.dir/core/ft_scheduler_test.cpp.o"
+  "CMakeFiles/ft_scheduler_test.dir/core/ft_scheduler_test.cpp.o.d"
+  "ft_scheduler_test"
+  "ft_scheduler_test.pdb"
+  "ft_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_task_test.dir/core/ft_task_test.cpp.o"
+  "CMakeFiles/ft_task_test.dir/core/ft_task_test.cpp.o.d"
+  "ft_task_test"
+  "ft_task_test.pdb"
+  "ft_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logprob_test.dir/prob/logprob_test.cpp.o"
+  "CMakeFiles/logprob_test.dir/prob/logprob_test.cpp.o.d"
+  "logprob_test"
+  "logprob_test.pdb"
+  "logprob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logprob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

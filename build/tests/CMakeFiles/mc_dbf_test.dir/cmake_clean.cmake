@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_dbf_test.dir/mcs/mc_dbf_test.cpp.o"
+  "CMakeFiles/mc_dbf_test.dir/mcs/mc_dbf_test.cpp.o.d"
+  "mc_dbf_test"
+  "mc_dbf_test.pdb"
+  "mc_dbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_dbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_task_test.dir/mcs/task_test.cpp.o"
+  "CMakeFiles/mc_task_test.dir/mcs/task_test.cpp.o.d"
+  "mc_task_test"
+  "mc_task_test.pdb"
+  "mc_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

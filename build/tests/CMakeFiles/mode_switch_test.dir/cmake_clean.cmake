@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_switch_test.dir/sim/mode_switch_test.cpp.o"
+  "CMakeFiles/mode_switch_test.dir/sim/mode_switch_test.cpp.o.d"
+  "mode_switch_test"
+  "mode_switch_test.pdb"
+  "mode_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opa_test.dir/mcs/opa_test.cpp.o"
+  "CMakeFiles/opa_test.dir/mcs/opa_test.cpp.o.d"
+  "opa_test"
+  "opa_test.pdb"
+  "opa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_sim_test.dir/sim/partitioned_sim_test.cpp.o"
+  "CMakeFiles/partitioned_sim_test.dir/sim/partitioned_sim_test.cpp.o.d"
+  "partitioned_sim_test"
+  "partitioned_sim_test.pdb"
+  "partitioned_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

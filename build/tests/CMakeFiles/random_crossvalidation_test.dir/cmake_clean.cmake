@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_crossvalidation_test.dir/property/random_crossvalidation_test.cpp.o"
+  "CMakeFiles/random_crossvalidation_test.dir/property/random_crossvalidation_test.cpp.o.d"
+  "random_crossvalidation_test"
+  "random_crossvalidation_test.pdb"
+  "random_crossvalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_math_test.dir/prob/safe_math_test.cpp.o"
+  "CMakeFiles/safe_math_test.dir/prob/safe_math_test.cpp.o.d"
+  "safe_math_test"
+  "safe_math_test.pdb"
+  "safe_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mcs/sensitivity_test.cpp" "tests/CMakeFiles/sensitivity_test.dir/mcs/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/sensitivity_test.dir/mcs/sensitivity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/ftmc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/ftmc_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/ftmc_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fms/CMakeFiles/ftmc_fms.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ftmc_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_schedulability_test.dir/property/simulation_schedulability_test.cpp.o"
+  "CMakeFiles/simulation_schedulability_test.dir/property/simulation_schedulability_test.cpp.o.d"
+  "simulation_schedulability_test"
+  "simulation_schedulability_test.pdb"
+  "simulation_schedulability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_schedulability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

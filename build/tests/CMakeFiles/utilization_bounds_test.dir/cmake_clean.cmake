@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_bounds_test.dir/mcs/utilization_bounds_test.cpp.o"
+  "CMakeFiles/utilization_bounds_test.dir/mcs/utilization_bounds_test.cpp.o.d"
+  "utilization_bounds_test"
+  "utilization_bounds_test.pdb"
+  "utilization_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
