@@ -4,46 +4,65 @@
 #include <iostream>
 #include <string>
 
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/exec/seed.hpp"
 #include "ftmc/io/table.hpp"
 
 namespace ftmc::bench {
+namespace {
+
+Fig3Point run_fig3_point(const Fig3Config& config, double f, double u,
+                         std::size_t point_index) {
+  taskgen::GeneratorParams params;
+  params.target_utilization = u;
+  params.failure_prob = f;
+  params.mapping = config.mapping;
+  // Distinct, reproducible stream per data point, a pure function of
+  // (seed, grid index) — independent of thread count and of the other
+  // points' parameter values.
+  taskgen::Rng rng(exec::derive_seed(config.seed, point_index));
+
+  int accept_without = 0;
+  int accept_with = 0;
+  for (int i = 0; i < config.sets_per_point; ++i) {
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+
+    core::FtsConfig fts;
+    fts.adaptation.kind = config.kind;
+    fts.adaptation.degradation_factor = config.degradation_factor;
+    fts.adaptation.os_hours = config.os_hours;
+    fts.prefer_no_adaptation = true;
+    const core::FtsResult r = core::ft_schedule(ts, fts);
+    if (r.feasible_without_adaptation) ++accept_without;
+    if (r.success) ++accept_with;
+  }
+  Fig3Point p;
+  p.failure_prob = f;
+  p.utilization = u;
+  p.ratio_without =
+      static_cast<double>(accept_without) / config.sets_per_point;
+  p.ratio_with = static_cast<double>(accept_with) / config.sets_per_point;
+  return p;
+}
+
+}  // namespace
 
 std::vector<Fig3Point> run_fig3(const Fig3Config& config) {
-  std::vector<Fig3Point> points;
-  for (const double f : config.failure_probs) {
-    for (const double u : config.utilizations) {
-      taskgen::GeneratorParams params;
-      params.target_utilization = u;
-      params.failure_prob = f;
-      params.mapping = config.mapping;
-      // Distinct, reproducible stream per data point.
-      taskgen::Rng rng(config.seed ^
-                       (std::hash<double>{}(f) * 31 + std::hash<double>{}(u)));
-
-      int accept_without = 0;
-      int accept_with = 0;
-      for (int i = 0; i < config.sets_per_point; ++i) {
-        const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
-
-        core::FtsConfig fts;
-        fts.adaptation.kind = config.kind;
-        fts.adaptation.degradation_factor = config.degradation_factor;
-        fts.adaptation.os_hours = config.os_hours;
-        fts.prefer_no_adaptation = true;
-        const core::FtsResult r = core::ft_schedule(ts, fts);
-        if (r.feasible_without_adaptation) ++accept_without;
-        if (r.success) ++accept_with;
-      }
-      Fig3Point p;
-      p.failure_prob = f;
-      p.utilization = u;
-      p.ratio_without =
-          static_cast<double>(accept_without) / config.sets_per_point;
-      p.ratio_with =
-          static_cast<double>(accept_with) / config.sets_per_point;
-      points.push_back(p);
-    }
-  }
+  const std::size_t n_u = config.utilizations.size();
+  const std::size_t n_points = config.failure_probs.size() * n_u;
+  std::vector<Fig3Point> points(n_points);
+  exec::ParallelOptions par;
+  par.threads = config.threads;
+  par.chunk_size = 1;  // one data point = sets_per_point schedulings
+  par.phase = "fig3";
+  exec::parallel_for(n_points, par,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const double f = config.failure_probs[i / n_u];
+                         const double u = config.utilizations[i % n_u];
+                         points[i] = run_fig3_point(config, f, u, i);
+                       }
+                     });
   return points;
 }
 
@@ -87,11 +106,16 @@ Fig3Config apply_cli_overrides(Fig3Config config, int argc, char** argv) {
       config.sets_per_point = std::atoi(argv[i + 1]);
     } else if (flag == "--seed") {
       config.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (flag == "--threads") {
+      config.threads = std::atoi(argv[i + 1]);
     }
   }
-  // Environment override used by CI smoke runs.
+  // Environment overrides used by CI smoke runs.
   if (const char* env = std::getenv("FTMC_BENCH_SETS")) {
     config.sets_per_point = std::atoi(env);
+  }
+  if (const char* env = std::getenv("FTMC_BENCH_THREADS")) {
+    config.threads = std::atoi(env);
   }
   if (config.sets_per_point <= 0) config.sets_per_point = 1;
   return config;

@@ -30,6 +30,11 @@ struct Fig3Config {
   int sets_per_point = 500;  ///< paper: "500 at each data point"
   double os_hours = 1.0;
   std::uint64_t seed = 20140601;  // DAC 2014
+  /// Worker threads for the per-data-point sweep: <= 0 = one per
+  /// hardware thread (default), 1 = serial. Each (f, U) point draws its
+  /// task sets from a stream derived from (seed, point index) only, so
+  /// results are identical for every thread count.
+  int threads = 0;
 };
 
 /// One data point: acceptance ratios with and without the adaptation
@@ -52,8 +57,10 @@ struct Fig3Point {
 void print_fig3(const Fig3Config& config,
                 const std::vector<Fig3Point>& points);
 
-/// Parses "--sets N" and "--seed S" style overrides from argv (used to
-/// shrink bench runtime in smoke runs); returns the updated config.
+/// Parses "--sets N", "--seed S" and "--threads T" style overrides from
+/// argv (used to shrink bench runtime in smoke runs); returns the
+/// updated config. FTMC_BENCH_SETS / FTMC_BENCH_THREADS environment
+/// variables override for CI smoke runs.
 [[nodiscard]] Fig3Config apply_cli_overrides(Fig3Config config, int argc,
                                              char** argv);
 

@@ -1,0 +1,94 @@
+/// Google-benchmark microbenchmarks of the parallel execution runtime:
+/// seed-derivation and dispatch overhead, plus the headline scaling
+/// measurement — a Monte-Carlo fault-injection campaign sharded over 1,
+/// 2, 4 and 8 workers. On an 8-core machine the 8-thread campaign is
+/// expected to run >= 3x faster than the serial one (compare the
+/// real_time column across BM_MonteCarloCampaign/threads:N rows).
+/// Campaign size: FTMC_BENCH_MISSIONS (default 1000; the acceptance run
+/// uses 10000).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "ftmc/core/conversion.hpp"
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/exec/seed.hpp"
+#include "ftmc/fms/fms.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+int missions_from_env() {
+  if (const char* env = std::getenv("FTMC_BENCH_MISSIONS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1000;
+}
+
+void BM_DeriveSeed(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    acc ^= exec::derive_seed(acc, i++);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DeriveSeed);
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Pure dispatch cost: trivial bodies, so this measures pool spin-up,
+  // chunk claiming and the completion barrier.
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    exec::ParallelOptions opt;
+    opt.threads = threads;
+    exec::parallel_for(4096, opt,
+                       [&](std::size_t begin, std::size_t end) {
+                         sink.fetch_add(end - begin,
+                                        std::memory_order_relaxed);
+                       });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_MonteCarloCampaign(benchmark::State& state) {
+  const auto tasks =
+      sim::build_sim_tasks(fms::canonical_fms_instance(), 3, 2, 2, 0.5);
+  sim::SimConfig cfg;
+  cfg.policy = sim::PolicyKind::kEdfVd;
+  cfg.adaptation = mcs::AdaptationKind::kKilling;
+
+  sim::MonteCarloOptions opt;
+  opt.missions = missions_from_env();
+  opt.mission_length = sim::kTicksPerSecond;  // one simulated second
+  opt.seed = 20140601;
+  opt.threads = static_cast<int>(state.range(0));
+
+  double hours = 0.0;
+  for (auto _ : state) {
+    const auto r = monte_carlo_campaign(tasks, cfg, opt);
+    hours += r.simulated_hours;
+    benchmark::DoNotOptimize(r.pfh_lo);
+  }
+  state.counters["missions/s"] = benchmark::Counter(
+      static_cast<double>(opt.missions) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MonteCarloCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -16,6 +16,7 @@
 
 #include "ftmc/core/ft_checkpoint.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/exec/stats.hpp"
 
 namespace ftmc::core {
 
@@ -45,6 +46,14 @@ struct DesignSpaceOptions {
   std::vector<int> segment_counts{1, 2, 4};
   double overhead_fraction = 0.0;
   bool include_killing = true;
+  /// Optional schedulability test overriding the EDF-VD family default
+  /// (mirrors FtsConfig::test / CkptFtsConfig::test).
+  mcs::SchedulabilityTestPtr test;
+  /// Worker threads for per-point evaluation: 1 = serial (default),
+  /// <= 0 = one per hardware thread. Evaluation is deterministic, so the
+  /// result does not depend on this value.
+  int threads = 1;
+  exec::RunStats* stats = nullptr;  ///< optional run counters
 };
 
 /// Runs FT-S (re-execution for segments == 1, the checkpointed pipeline
@@ -57,7 +66,9 @@ struct DesignSpaceOptions {
 /// Indices of the Pareto-optimal certifiable points, maximizing
 /// (service_quality, safety_margin_orders, schedulability_margin).
 /// Dominated = another certifiable point is >= on all three axes and
-/// strictly > on at least one.
+/// strictly > on at least one. Points with any NaN score are excluded —
+/// NaN compares false both ways, so such a point would otherwise ride
+/// the front by incomparability.
 [[nodiscard]] std::vector<std::size_t> pareto_front(
     const std::vector<DesignPoint>& points);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ftmc/exec/parallel.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
 #include "ftmc/mcs/edf_vd_degradation.hpp"
 
@@ -23,6 +24,13 @@ double umc_of(const mcs::McTaskSet& converted, mcs::AdaptationKind kind,
 
 void score(DesignPoint& p, const SafetyRequirements& reqs, Dal lo_dal) {
   if (!p.certifiable) return;
+  if (std::isnan(p.u_mc) || std::isnan(p.pfh_lo)) {
+    // U_MC could not be priced (umc_of on a non-implicit-deadline
+    // converted set). A NaN score would survive every domination check
+    // by incomparability, so demote the point instead.
+    p.certifiable = false;
+    return;
+  }
   p.service_quality = (p.kind == mcs::AdaptationKind::kDegradation)
                           ? 1.0 / p.degradation_factor
                           : 0.0;
@@ -47,6 +55,7 @@ DesignPoint evaluate(const FtTaskSet& ts, const DesignSpaceOptions& opt,
 
   if (segments == 1) {
     FtsConfig cfg;
+    cfg.test = opt.test;
     cfg.requirements = opt.requirements;
     cfg.adaptation.kind = kind;
     cfg.adaptation.degradation_factor = df;
@@ -60,6 +69,7 @@ DesignPoint evaluate(const FtTaskSet& ts, const DesignSpaceOptions& opt,
     }
   } else {
     CkptFtsConfig cfg;
+    cfg.test = opt.test;
     cfg.segments = segments;
     cfg.overhead_fraction = p.overhead_fraction;
     cfg.requirements = opt.requirements;
@@ -85,24 +95,52 @@ std::vector<DesignPoint> explore_design_space(
   ts.validate();
   FTMC_EXPECTS(!options.segment_counts.empty(),
                "need at least one segment count");
-  std::vector<DesignPoint> points;
+  // Enumerate the grid up front (validating it serially), then evaluate
+  // the independent points in parallel into index-addressed slots; the
+  // returned order is the grid order regardless of thread count.
+  struct Combo {
+    mcs::AdaptationKind kind;
+    double df;
+    int segments;
+  };
+  std::vector<Combo> grid;
   for (const int k : options.segment_counts) {
     FTMC_EXPECTS(k >= 1, "segment counts must be positive");
     if (options.include_killing) {
-      points.push_back(evaluate(ts, options,
-                                mcs::AdaptationKind::kKilling, 1.0, k));
+      grid.push_back({mcs::AdaptationKind::kKilling, 1.0, k});
     }
     for (const double df : options.degradation_factors) {
       FTMC_EXPECTS(df > 1.0, "degradation factors must exceed 1");
-      points.push_back(evaluate(ts, options,
-                                mcs::AdaptationKind::kDegradation, df, k));
+      grid.push_back({mcs::AdaptationKind::kDegradation, df, k});
     }
   }
+
+  std::vector<DesignPoint> points(grid.size());
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.chunk_size = 1;  // points are few and individually heavy
+  par.stats = options.stats;
+  par.phase = "design_space";
+  exec::parallel_for(grid.size(), par,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const Combo& c = grid[i];
+                         points[i] = evaluate(ts, options, c.kind, c.df,
+                                              c.segments);
+                       }
+                     });
   return points;
 }
 
 std::vector<std::size_t> pareto_front(
     const std::vector<DesignPoint>& points) {
+  // A NaN score compares false against everything, so a NaN point can
+  // neither dominate nor be dominated; admit only fully-scored points.
+  const auto scored = [](const DesignPoint& p) {
+    return p.certifiable && !std::isnan(p.service_quality) &&
+           !std::isnan(p.safety_margin_orders) &&
+           !std::isnan(p.schedulability_margin);
+  };
   const auto dominates = [](const DesignPoint& a, const DesignPoint& b) {
     const bool ge = a.service_quality >= b.service_quality &&
                     a.safety_margin_orders >= b.safety_margin_orders &&
@@ -114,10 +152,10 @@ std::vector<std::size_t> pareto_front(
   };
   std::vector<std::size_t> front;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    if (!points[i].certifiable) continue;
+    if (!scored(points[i])) continue;
     bool dominated = false;
     for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-      dominated = j != i && points[j].certifiable &&
+      dominated = j != i && scored(points[j]) &&
                   dominates(points[j], points[i]);
     }
     if (!dominated) front.push_back(i);

@@ -1,0 +1,61 @@
+/// \file thread_pool.hpp
+/// \brief A fixed-size thread pool for the parallel experiment runtime.
+///
+/// Deliberately minimal: a fixed set of workers draining a FIFO queue.
+/// Destruction drains the queue (every submitted task runs) and joins.
+/// Scheduling fairness, work stealing and futures are out of scope — the
+/// parallel_for layer on top only ever submits one long-lived drain task
+/// per worker, so a simple mutex-protected queue is not a bottleneck.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftmc::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; checked).
+  explicit ThreadPool(int threads);
+
+  /// Runs every task still queued, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — exceptions have nowhere to
+  /// go on a pool thread (parallel_for catches and forwards them before
+  /// they reach the pool). Throws ContractViolation after shutdown began.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Total tasks completed by this pool's workers.
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// std::thread::hardware_concurrency clamped to >= 1.
+  [[nodiscard]] static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> executed_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace ftmc::exec

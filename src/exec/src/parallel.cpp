@@ -1,0 +1,82 @@
+#include "ftmc/exec/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "ftmc/exec/thread_pool.hpp"
+
+namespace ftmc::exec {
+
+int resolve_threads(int threads) noexcept {
+  return threads <= 0 ? ThreadPool::hardware_threads() : threads;
+}
+
+std::size_t resolve_chunk(std::size_t chunk_size) noexcept {
+  return chunk_size == 0 ? 16 : chunk_size;
+}
+
+void parallel_for(std::size_t n, const ParallelOptions& options,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t chunk = resolve_chunk(options.chunk_size);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  const int threads = static_cast<int>(
+      std::min<std::size_t>(
+          static_cast<std::size_t>(resolve_threads(options.threads)),
+          n_chunks));
+
+  if (threads <= 1) {
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      body(c * chunk, std::min(n, (c + 1) * chunk));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    const auto drain = [&] {
+      for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+           c < n_chunks;
+           c = next.fetch_add(1, std::memory_order_relaxed)) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        try {
+          body(c * chunk, std::min(n, (c + 1) * chunk));
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    {
+      // One drain task per extra worker; the caller participates too.
+      // The pool destructor runs the queue dry and joins, so leaving
+      // this scope is the completion barrier.
+      ThreadPool pool(threads - 1);
+      for (int w = 0; w < threads - 1; ++w) pool.submit(drain);
+      drain();
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  if (options.stats != nullptr) {
+    PhaseStats s;
+    s.items = n;
+    s.chunks = n_chunks;
+    s.regions = 1;
+    s.threads = threads;
+    s.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    options.stats->record(options.phase, s);
+  }
+}
+
+}  // namespace ftmc::exec

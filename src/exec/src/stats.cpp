@@ -1,0 +1,46 @@
+#include "ftmc/exec/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftmc::exec {
+
+void RunStats::record(const std::string& phase, const PhaseStats& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, acc] : phases_) {
+    if (name == phase) {
+      acc.items += s.items;
+      acc.chunks += s.chunks;
+      acc.regions += s.regions;
+      acc.wall_seconds += s.wall_seconds;
+      acc.threads = std::max(acc.threads, s.threads);
+      return;
+    }
+  }
+  phases_.emplace_back(phase, s);
+}
+
+PhaseStats RunStats::phase(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [phase_name, acc] : phases_) {
+    if (phase_name == name) return acc;
+  }
+  return {};
+}
+
+std::vector<std::pair<std::string, PhaseStats>> RunStats::phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream out;
+  for (const auto& [name, s] : phases()) {
+    out << name << ": " << s.items << " items / " << s.chunks
+        << " chunks / " << s.regions << " regions in " << s.wall_seconds
+        << " s on " << s.threads << " threads\n";
+  }
+  return out.str();
+}
+
+}  // namespace ftmc::exec

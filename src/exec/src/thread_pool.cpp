@@ -1,0 +1,54 @@
+#include "ftmc/exec/thread_pool.hpp"
+
+#include "ftmc/common/contracts.hpp"
+
+namespace ftmc::exec {
+
+ThreadPool::ThreadPool(int threads) {
+  FTMC_EXPECTS(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  FTMC_EXPECTS(task != nullptr, "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FTMC_EXPECTS(!stopping_, "cannot submit to a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace ftmc::exec

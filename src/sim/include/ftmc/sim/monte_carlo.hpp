@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "ftmc/exec/stats.hpp"
 #include "ftmc/sim/engine.hpp"
 
 namespace ftmc::sim {
@@ -34,7 +35,15 @@ struct BinomialEstimate {
 struct MonteCarloOptions {
   int missions = 200;               ///< independent simulated missions
   Tick mission_length = kTicksPerHour;
-  std::uint64_t seed = 1;           ///< mission i uses seed + i
+  /// Base seed. Mission i simulates with exec::derive_seed(seed, i), so
+  /// campaigns with different base seeds use unrelated streams (a plain
+  /// `seed + i` would correlate campaigns with adjacent seeds).
+  std::uint64_t seed = 1;
+  /// Worker threads for mission sharding: 1 = serial (default), <= 0 =
+  /// one per hardware thread. The result is bit-identical for every
+  /// value — per-mission accumulators are merged in mission order.
+  int threads = 1;
+  exec::RunStats* stats = nullptr;  ///< optional run counters
 };
 
 /// Aggregated campaign results.
@@ -54,7 +63,9 @@ struct MonteCarloResult {
 
 /// Runs `options.missions` independent simulations of the given task
 /// system (same semantics as Simulator; config's horizon and seed are
-/// overridden per mission) and aggregates.
+/// overridden per mission) and aggregates. Missions are sharded over
+/// `options.threads` workers; the aggregate is bit-identical to the
+/// serial run for the same base seed (see docs/parallelism.md).
 [[nodiscard]] MonteCarloResult monte_carlo_campaign(
     const std::vector<SimTask>& tasks, SimConfig config,
     const MonteCarloOptions& options);

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "ftmc/common/contracts.hpp"
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/exec/seed.hpp"
 
 namespace ftmc::sim {
 namespace {
@@ -14,6 +16,53 @@ double wilson_center(double p, double n, double z) {
 double wilson_halfwidth(double p, double n, double z) {
   return (z / (1.0 + z * z / n)) *
          std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+}
+
+/// Per-shard accumulator: everything one mission contributes, in a form
+/// that merges by plain addition so shards combine in mission order.
+struct CampaignShard {
+  BinomialEstimate trigger;
+  BinomialEstimate job_failure_hi;
+  BinomialEstimate job_failure_lo;
+  std::uint64_t failures_hi = 0;
+  std::uint64_t failures_lo = 0;
+  double simulated_hours = 0.0;
+};
+
+void merge(CampaignShard& into, const CampaignShard& from) {
+  into.trigger.successes += from.trigger.successes;
+  into.trigger.trials += from.trigger.trials;
+  into.job_failure_hi.successes += from.job_failure_hi.successes;
+  into.job_failure_hi.trials += from.job_failure_hi.trials;
+  into.job_failure_lo.successes += from.job_failure_lo.successes;
+  into.job_failure_lo.trials += from.job_failure_lo.trials;
+  into.failures_hi += from.failures_hi;
+  into.failures_lo += from.failures_lo;
+  into.simulated_hours += from.simulated_hours;
+}
+
+CampaignShard run_mission(const std::vector<SimTask>& tasks,
+                          SimConfig config, std::uint64_t base_seed,
+                          std::size_t mission) {
+  config.seed = exec::derive_seed(base_seed, mission);
+  Simulator sim(tasks, config);
+  const SimStats stats = sim.run();
+
+  CampaignShard shard;
+  ++shard.trigger.trials;
+  if (stats.mode_switches > 0) ++shard.trigger.successes;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskStats& t = stats.per_task[i];
+    const bool hi = tasks[i].crit == CritLevel::HI;
+    BinomialEstimate& jobs =
+        hi ? shard.job_failure_hi : shard.job_failure_lo;
+    jobs.trials += t.released;
+    jobs.successes += t.temporal_failures();
+    (hi ? shard.failures_hi : shard.failures_lo) += t.temporal_failures();
+  }
+  shard.simulated_hours += stats.simulated_hours();
+  return shard;
 }
 
 }  // namespace
@@ -39,34 +88,29 @@ MonteCarloResult monte_carlo_campaign(const std::vector<SimTask>& tasks,
   FTMC_EXPECTS(options.mission_length > 0,
                "mission length must be positive");
 
-  MonteCarloResult out;
   config.horizon = options.mission_length;
 
-  std::uint64_t failures_hi = 0;
-  std::uint64_t failures_lo = 0;
-  for (int m = 0; m < options.missions; ++m) {
-    config.seed = options.seed + static_cast<std::uint64_t>(m);
-    Simulator sim(tasks, config);
-    const SimStats stats = sim.run();
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.stats = options.stats;
+  par.phase = "monte_carlo";
+  const CampaignShard total = exec::parallel_map_reduce<CampaignShard>(
+      static_cast<std::size_t>(options.missions), par,
+      [&](std::size_t m) {
+        return run_mission(tasks, config, options.seed, m);
+      },
+      [](CampaignShard& into, CampaignShard&& from) { merge(into, from); });
 
-    ++out.trigger.trials;
-    if (stats.mode_switches > 0) ++out.trigger.successes;
-
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const TaskStats& t = stats.per_task[i];
-      BinomialEstimate& jobs = tasks[i].crit == CritLevel::HI
-                                   ? out.job_failure_hi
-                                   : out.job_failure_lo;
-      jobs.trials += t.released;
-      jobs.successes += t.temporal_failures();
-      (tasks[i].crit == CritLevel::HI ? failures_hi : failures_lo) +=
-          t.temporal_failures();
-    }
-    out.simulated_hours += stats.simulated_hours();
-  }
+  MonteCarloResult out;
+  out.trigger = total.trigger;
+  out.job_failure_hi = total.job_failure_hi;
+  out.job_failure_lo = total.job_failure_lo;
+  out.simulated_hours = total.simulated_hours;
   if (out.simulated_hours > 0.0) {
-    out.pfh_hi = static_cast<double>(failures_hi) / out.simulated_hours;
-    out.pfh_lo = static_cast<double>(failures_lo) / out.simulated_hours;
+    out.pfh_hi =
+        static_cast<double>(total.failures_hi) / out.simulated_hours;
+    out.pfh_lo =
+        static_cast<double>(total.failures_lo) / out.simulated_hours;
   }
   return out;
 }

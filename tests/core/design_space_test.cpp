@@ -2,11 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "ftmc/common/contracts.hpp"
 #include "ftmc/fms/fms.hpp"
 
 namespace ftmc::core {
 namespace {
+
+/// Accepts everything; stands in for a technique that handles
+/// constrained deadlines so the checkpointed pipeline can succeed on a
+/// non-implicit-deadline set (where umc_of cannot price U_MC).
+class AcceptAllTest final : public mcs::SchedulabilityTest {
+ public:
+  [[nodiscard]] bool schedulable(const mcs::McTaskSet&) const override {
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "accept-all"; }
+  [[nodiscard]] mcs::AdaptationKind adaptation() const override {
+    return mcs::AdaptationKind::kKilling;
+  }
+};
 
 FtTask make(const std::string& name, Millis t, Millis c, Dal dal,
             double f = 1e-5) {
@@ -115,6 +132,60 @@ TEST(DesignSpace, CheckpointedPointsEvaluated) {
       EXPECT_GE(p.u_mc, 0.0);
       EXPECT_LE(p.u_mc, 1.0);
     }
+  }
+}
+
+TEST(DesignSpace, NanUmcIsDemotedToNonCertifiable) {
+  // tau_hi has a constrained deadline (60 < 100), which the converted
+  // set inherits; umc_of then has no implicit-deadline U_MC and returns
+  // NaN. Such a point must come back non-certifiable instead of carrying
+  // NaN scores into domination checks.
+  const FtTaskSet ts({FtTask{"tau_hi", 100, 60, 8, Dal::B, 1e-9},
+                      FtTask{"tau_lo", 100, 100, 8, Dal::D, 1e-9}},
+                     DualCriticalityMapping{Dal::B, Dal::D});
+  DesignSpaceOptions opt;
+  opt.segment_counts = {2};
+  opt.degradation_factors = {};
+  opt.test = std::make_shared<const AcceptAllTest>();
+  const auto points = explore_design_space(ts, opt);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_FALSE(points[0].certifiable);
+  EXPECT_FALSE(std::isnan(points[0].service_quality));
+  EXPECT_FALSE(std::isnan(points[0].safety_margin_orders));
+  EXPECT_FALSE(std::isnan(points[0].schedulability_margin));
+  EXPECT_TRUE(pareto_front(points).empty());
+}
+
+TEST(DesignSpace, ParetoExcludesNanScoredPoints) {
+  // Even if a NaN-scored point claims to be certifiable, it must not
+  // survive the front by incomparability (NaN compares false against
+  // everything, so nothing can dominate it).
+  DesignPoint good;
+  good.certifiable = true;
+  good.service_quality = 0.5;
+  good.safety_margin_orders = 1.0;
+  good.schedulability_margin = 0.1;
+  DesignPoint poisoned = good;
+  poisoned.service_quality = 9.0;
+  poisoned.schedulability_margin =
+      std::numeric_limits<double>::quiet_NaN();
+  const auto front = pareto_front({good, poisoned});
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(DesignSpace, ParallelExplorationMatchesSerial) {
+  DesignSpaceOptions serial_opt;
+  serial_opt.threads = 1;
+  DesignSpaceOptions parallel_opt;
+  parallel_opt.threads = 3;
+  const auto a = explore_design_space(example31(), serial_opt);
+  const auto b = explore_design_space(example31(), parallel_opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].certifiable, b[i].certifiable);
+    EXPECT_EQ(a[i].u_mc, b[i].u_mc);
+    EXPECT_EQ(a[i].pfh_lo, b[i].pfh_lo);
+    EXPECT_EQ(a[i].service_quality, b[i].service_quality);
   }
 }
 

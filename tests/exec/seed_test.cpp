@@ -1,0 +1,82 @@
+#include "ftmc/exec/seed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace ftmc::exec {
+namespace {
+
+// The naive `base + index` scheme collides exactly here: campaign(seed=1)
+// mission 1 and campaign(seed=2) mission 0 would share one stream, and
+// adjacent campaigns would share all but one stream.
+TEST(DeriveSeed, AdjacentBaseSeedsDoNotCollide) {
+  EXPECT_NE(derive_seed(1, 1), derive_seed(2, 0));
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    EXPECT_NE(derive_seed(1, m + 1), derive_seed(2, m));
+  }
+}
+
+TEST(DeriveSeed, StreamsOfAdjacentCampaignsDiffer) {
+  // The regression the fix is about: the *mission RNG streams* of
+  // campaigns with base seeds 1 and 2 must not overlap. Compare the
+  // first outputs of the engines each mission would construct.
+  std::mt19937_64 mission_1_of_seed_1(derive_seed(1, 1));
+  std::mt19937_64 mission_0_of_seed_2(derive_seed(2, 0));
+  bool any_difference = false;
+  for (int draw = 0; draw < 8; ++draw) {
+    any_difference |= mission_1_of_seed_1() != mission_0_of_seed_2();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DeriveSeed, IsConstexprAndPure) {
+  static_assert(derive_seed(1, 2) == derive_seed(1, 2));
+  static_assert(derive_seed(0, 0) != derive_seed(0, 1));
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+}
+
+TEST(DeriveSeed, NoCollisionsAcrossRealisticCampaignWindow) {
+  // 16 campaigns x 1024 missions: all 16384 derived seeds distinct.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 16; ++base) {
+    for (std::uint64_t m = 0; m < 1024; ++m) {
+      EXPECT_TRUE(seen.insert(derive_seed(base, m)).second)
+          << "collision at base=" << base << " m=" << m;
+    }
+  }
+}
+
+TEST(DeriveSeed, OutputBitsAreBalanced) {
+  // Distribution sanity: over many derived seeds every output bit should
+  // be set roughly half the time (SplitMix64 is equidistributed; this
+  // catches e.g. an accidental truncation or a stuck high word).
+  constexpr int kSamples = 4096;
+  std::vector<int> ones(64, 0);
+  for (std::uint64_t m = 0; m < kSamples; ++m) {
+    const std::uint64_t s = derive_seed(1, m);
+    for (int b = 0; b < 64; ++b) ones[b] += (s >> b) & 1u;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(ones[b], kSamples * 2 / 5) << "bit " << b;
+    EXPECT_LT(ones[b], kSamples * 3 / 5) << "bit " << b;
+  }
+}
+
+TEST(DeriveSeed, AvalancheBetweenConsecutiveIndices) {
+  // Consecutive indices should flip ~32 of 64 bits on average.
+  constexpr int kSamples = 2048;
+  std::uint64_t flipped = 0;
+  for (std::uint64_t m = 0; m < kSamples; ++m) {
+    flipped += std::popcount(derive_seed(9, m) ^ derive_seed(9, m + 1));
+  }
+  const double mean = static_cast<double>(flipped) / kSamples;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+}  // namespace
+}  // namespace ftmc::exec

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "ftmc/common/contracts.hpp"
 #include "ftmc/core/analysis.hpp"
+#include "ftmc/exec/seed.hpp"
 
 namespace ftmc::sim {
 namespace {
@@ -131,6 +134,41 @@ TEST(MonteCarlo, DeterministicGivenSeed) {
   const auto b = monte_carlo_campaign(tasks, cfg, opt);
   EXPECT_EQ(a.trigger.successes, b.trigger.successes);
   EXPECT_DOUBLE_EQ(a.pfh_hi, b.pfh_hi);
+}
+
+TEST(MonteCarlo, AdjacentBaseSeedsUseIndependentMissionStreams) {
+  // Regression: mission seeds used to be `seed + m`, so campaign(seed=1)
+  // mission 1 and campaign(seed=2) mission 0 shared one RNG stream (and
+  // adjacent campaigns shared all but one). With SplitMix64 derivation
+  // the two streams must differ.
+  const std::uint64_t s11 = exec::derive_seed(1, 1);
+  const std::uint64_t s20 = exec::derive_seed(2, 0);
+  ASSERT_NE(s11, s20);
+  std::mt19937_64 stream_a(s11);
+  std::mt19937_64 stream_b(s20);
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) differs |= stream_a() != stream_b();
+  EXPECT_TRUE(differs);
+}
+
+TEST(MonteCarlo, ParallelShardingMatchesSerial) {
+  std::vector<SimTask> tasks = {
+      task("h", 100'000, 1'000, CritLevel::HI, 2, 1, 0.2),
+      task("l", 130'000, 1'500, CritLevel::LO, 2, 2, 0.1)};
+  SimConfig cfg;
+  cfg.policy = PolicyKind::kEdfVd;
+  MonteCarloOptions opt;
+  opt.missions = 33;
+  opt.mission_length = 1'000'000;
+  opt.threads = 1;
+  const auto serial = monte_carlo_campaign(tasks, cfg, opt);
+  opt.threads = 4;
+  const auto parallel = monte_carlo_campaign(tasks, cfg, opt);
+  EXPECT_EQ(serial.trigger.successes, parallel.trigger.successes);
+  EXPECT_EQ(serial.job_failure_lo.trials, parallel.job_failure_lo.trials);
+  EXPECT_EQ(serial.simulated_hours, parallel.simulated_hours);
+  EXPECT_EQ(serial.pfh_hi, parallel.pfh_hi);
+  EXPECT_EQ(serial.pfh_lo, parallel.pfh_lo);
 }
 
 TEST(MonteCarlo, RejectsBadOptions) {
