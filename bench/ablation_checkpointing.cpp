@@ -7,12 +7,14 @@
 /// and overhead levels.
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/checkpointing.hpp"
 #include "ftmc/core/profiles.hpp"
 #include "ftmc/io/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("ablation_checkpointing", argc, argv);
   core::FtTaskSet ts(
       {core::FtTask{"tau1", 60.0, 60.0, 5.0, Dal::B, 1e-4},
        core::FtTask{"tau2", 25.0, 25.0, 4.0, Dal::B, 1e-4}},

@@ -8,13 +8,15 @@
 #include <iostream>
 #include <limits>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/core/heterogeneous.hpp"
 #include "ftmc/fms/fms.hpp"
 #include "ftmc/io/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("ablation_df_sweep", argc, argv);
   const core::FtTaskSet fms = fms::canonical_fms_instance();
   const int n_hi = 3, n_lo = 2;
   const double u_lo_lo = n_lo * fms.utilization(CritLevel::LO);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/core/heterogeneous.hpp"
 #include "ftmc/fms/fms.hpp"
@@ -51,7 +52,8 @@ void compare(const char* label, const core::FtTaskSet& ts, int n_hi,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftmc::bench::BenchReport report("ablation_heterogeneous", argc, argv);
   std::cout << "=== Ablation — uniform vs heterogeneous adaptation "
                "profiles ===\n\n";
 

@@ -5,12 +5,14 @@
 /// acceptance curve on the Fig. 3d workload (degradation, LO = C).
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/taskgen/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("ablation_safety_standards", argc, argv);
   int sets = 200;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);

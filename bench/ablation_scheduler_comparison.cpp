@@ -5,6 +5,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/mcs/edf.hpp"
@@ -16,6 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("ablation_scheduler_comparison", argc, argv);
   int sets = 100;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);

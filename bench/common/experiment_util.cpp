@@ -1,14 +1,111 @@
 #include "experiment_util.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "ftmc/exec/parallel.hpp"
 #include "ftmc/exec/seed.hpp"
+#include "ftmc/io/json.hpp"
 #include "ftmc/io/table.hpp"
+#include "ftmc/obs/registry.hpp"
 
 namespace ftmc::bench {
+
+BenchReport::BenchReport(std::string name, int argc, char** argv)
+    : name_(std::move(name)), t0_(std::chrono::steady_clock::now()) {
+  for (int i = 0; i < argc; ++i) argv_.emplace_back(argv[i]);
+  // Benches always collect library metrics; the snapshot rides along in
+  // the report (library hot paths stay near-free — see registry.hpp).
+  obs::Registry::global().enable();
+}
+
+void BenchReport::set_items(double items, std::string unit) {
+  items_ = items;
+  items_unit_ = std::move(unit);
+}
+
+void BenchReport::note_number(std::string_view key, double value) {
+  notes_.emplace_back(std::string(key), io::json::number(value));
+}
+
+void BenchReport::note_string(std::string_view key,
+                              std::string_view value) {
+  notes_.emplace_back(std::string(key),
+                      "\"" + io::json::escape(value) + "\"");
+}
+
+double BenchReport::wall_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0_)
+      .count();
+}
+
+std::string BenchReport::path() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("FTMC_BENCH_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+void BenchReport::write() {
+  if (written_) return;
+  written_ = true;
+
+  const double wall = wall_seconds();
+  io::json::Object doc;
+  doc.add_string("name", name_);
+  {
+    std::vector<std::string> args;
+    args.reserve(argv_.size());
+    for (const std::string& a : argv_) {
+      args.push_back("\"" + io::json::escape(a) + "\"");
+    }
+    doc.add_raw("argv", io::json::array(args));
+  }
+  doc.add_int("hardware_threads",
+              static_cast<long long>(std::thread::hardware_concurrency()));
+  doc.add_number("wall_seconds", wall);
+  if (items_ >= 0.0) {
+    doc.add_number("items", items_);
+    doc.add_string("items_unit", items_unit_);
+    doc.add_number("items_per_sec", wall > 0.0 ? items_ / wall : 0.0);
+  }
+  if (!notes_.empty()) {
+    io::json::Object notes;
+    for (const auto& [key, raw] : notes_) notes.add_raw(key, raw);
+    doc.add_raw("notes", notes.str());
+  }
+  doc.add_raw("metrics", obs::Registry::global().snapshot_json());
+
+  const std::string out_path = path();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "BenchReport: cannot write " << out_path << "\n";
+    return;
+  }
+  out << doc.str() << "\n";
+  std::cerr << "telemetry: " << out_path << "\n";
+}
+
+BenchReport::~BenchReport() {
+  try {
+    write();
+  } catch (...) {
+    // A telemetry failure must never take down the bench's exit path.
+  }
+}
+
+bool progress_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--progress") return true;
+  }
+  return false;
+}
+
 namespace {
 
 Fig3Point run_fig3_point(const Fig3Config& config, double f, double u,
@@ -55,6 +152,8 @@ std::vector<Fig3Point> run_fig3(const Fig3Config& config) {
   par.threads = config.threads;
   par.chunk_size = 1;  // one data point = sets_per_point schedulings
   par.phase = "fig3";
+  par.stats = config.stats;
+  par.progress = config.progress;
   exec::parallel_for(n_points, par,
                      [&](std::size_t begin, std::size_t end) {
                        for (std::size_t i = begin; i < end; ++i) {
@@ -100,8 +199,15 @@ void print_fig3(const Fig3Config& config,
 }
 
 Fig3Config apply_cli_overrides(Fig3Config config, int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--progress") {
+      if (!config.progress) {
+        config.progress = obs::stderr_progress("fig3");
+      }
+      continue;
+    }
+    if (i + 1 >= argc) break;
     if (flag == "--sets") {
       config.sets_per_point = std::atoi(argv[i + 1]);
     } else if (flag == "--seed") {

@@ -1,16 +1,59 @@
 /// \file experiment_util.hpp
 /// \brief Shared helpers for the reproduction benches: the Fig. 3
-///        acceptance-ratio experiment driver and small printing utilities.
+///        acceptance-ratio experiment driver, per-binary telemetry
+///        (BENCH_<name>.json) and small printing utilities.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/exec/stats.hpp"
+#include "ftmc/obs/progress.hpp"
 #include "ftmc/taskgen/generator.hpp"
 
 namespace ftmc::bench {
+
+/// Telemetry of one bench binary. Construct at the top of main; the
+/// destructor writes `BENCH_<name>.json` (into FTMC_BENCH_DIR, default
+/// the working directory) with wall time, thread count, argv, optional
+/// throughput and domain notes, plus a snapshot of the global metrics
+/// registry — which the constructor enables, so analysis hot-path
+/// counters (mcs.*, core.*) are populated for every bench run.
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv);
+  ~BenchReport();
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Headline work volume; reported with the derived items-per-second.
+  void set_items(double items, std::string unit = "items");
+  /// Domain-specific metrics attached under "notes".
+  void note_number(std::string_view key, double value);
+  void note_string(std::string_view key, std::string_view value);
+
+  /// Seconds since construction.
+  [[nodiscard]] double wall_seconds() const;
+  /// Output path (FTMC_BENCH_DIR joined with BENCH_<name>.json).
+  [[nodiscard]] std::string path() const;
+  /// Renders and writes the report now (the destructor then skips it).
+  void write();
+
+ private:
+  std::string name_;
+  std::vector<std::string> argv_;
+  std::chrono::steady_clock::time_point t0_;
+  double items_ = -1.0;
+  std::string items_unit_;
+  std::vector<std::pair<std::string, std::string>> notes_;  // key, raw json
+  bool written_ = false;
+};
+
+/// True when `--progress` appears in argv (live stderr progress meter).
+[[nodiscard]] bool progress_requested(int argc, char** argv);
 
 /// Configuration of one Fig. 3 subfigure (Sec. 5.2 / Appendix C.0.5).
 struct Fig3Config {
@@ -35,6 +78,10 @@ struct Fig3Config {
   /// task sets from a stream derived from (seed, point index) only, so
   /// results are identical for every thread count.
   int threads = 0;
+  exec::RunStats* stats = nullptr;  ///< optional run counters
+  /// Optional progress callback (done = data points finished). The
+  /// `--progress` CLI flag installs a stderr meter when this is empty.
+  obs::ProgressFn progress;
 };
 
 /// One data point: acceptance ratios with and without the adaptation
@@ -57,10 +104,10 @@ struct Fig3Point {
 void print_fig3(const Fig3Config& config,
                 const std::vector<Fig3Point>& points);
 
-/// Parses "--sets N", "--seed S" and "--threads T" style overrides from
-/// argv (used to shrink bench runtime in smoke runs); returns the
-/// updated config. FTMC_BENCH_SETS / FTMC_BENCH_THREADS environment
-/// variables override for CI smoke runs.
+/// Parses "--sets N", "--seed S", "--threads T" and "--progress"
+/// overrides from argv (used to shrink bench runtime in smoke runs);
+/// returns the updated config. FTMC_BENCH_SETS / FTMC_BENCH_THREADS
+/// environment variables override for CI smoke runs.
 [[nodiscard]] Fig3Config apply_cli_overrides(Fig3Config config, int argc,
                                              char** argv);
 

@@ -8,12 +8,14 @@
 #include <iostream>
 #include <string>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_checkpoint.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/taskgen/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("extension_checkpointed_fts", argc, argv);
   int sets = 200;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/partitioned.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/sim/partitioned_sim.hpp"
@@ -14,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("extension_multicore", argc, argv);
   int sets = 200;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--sets") sets = std::atoi(argv[i + 1]);

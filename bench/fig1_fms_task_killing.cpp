@@ -8,12 +8,14 @@
 #include <cmath>
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/fms/fms.hpp"
 #include "ftmc/io/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("fig1_fms_task_killing", argc, argv);
   const core::FtTaskSet fms = fms::canonical_fms_instance();
   const auto reqs = core::SafetyRequirements::do178b();
 

@@ -6,11 +6,16 @@
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("fig3c_degradation_lowcrit_DE", argc, argv);
   bench::Fig3Config config;
   config.title = "Fig. 3c — service degradation, HI=B, LO in {D,E}";
   config.kind = mcs::AdaptationKind::kDegradation;
   config.mapping = {Dal::B, Dal::D};
   config = bench::apply_cli_overrides(config, argc, argv);
-  bench::print_fig3(config, bench::run_fig3(config));
+  const auto points = bench::run_fig3(config);
+  bench::print_fig3(config, points);
+  report.set_items(
+      static_cast<double>(points.size()) * config.sets_per_point,
+      "task sets");
   return 0;
 }

@@ -7,11 +7,16 @@
 
 int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("fig3d_degradation_lowcrit_C", argc, argv);
   bench::Fig3Config config;
   config.title = "Fig. 3d — service degradation, HI=B, LO=C";
   config.kind = mcs::AdaptationKind::kDegradation;
   config.mapping = {Dal::B, Dal::C};
   config = bench::apply_cli_overrides(config, argc, argv);
-  bench::print_fig3(config, bench::run_fig3(config));
+  const auto points = bench::run_fig3(config);
+  bench::print_fig3(config, points);
+  report.set_items(
+      static_cast<double>(points.size()) * config.sets_per_point,
+      "task sets");
   return 0;
 }

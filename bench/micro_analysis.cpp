@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/analysis.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
@@ -123,4 +124,11 @@ BENCHMARK(BM_Ablation_AccuracyReport);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ftmc::bench::BenchReport report("micro_analysis", argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/exec/parallel.hpp"
 #include "ftmc/exec/seed.hpp"
@@ -91,4 +92,12 @@ BENCHMARK(BM_MonteCarloCampaign)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ftmc::bench::BenchReport report("micro_exec", argc, argv);
+  report.note_number("missions", missions_from_env());
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,10 @@
 /// empirical probability-of-failure-per-hour must stay below each
 /// analytical bound (they are upper bounds; the gap quantifies pessimism).
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/analysis.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/io/table.hpp"
@@ -13,8 +15,9 @@
 #include "ftmc/sim/engine.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("sim_validation", argc, argv);
   const double f = 1e-2;
   const auto task = [f](const char* name, Millis period, Millis wcet,
                         Dal dal) {
@@ -67,8 +70,15 @@ int main() {
   mc_cfg.adaptation = mcs::AdaptationKind::kKilling;
   sim::MonteCarloOptions mc_opt;
   mc_opt.missions = 400;
+  if (const char* env = std::getenv("FTMC_BENCH_MISSIONS")) {
+    const int n = std::atoi(env);
+    if (n > 0) mc_opt.missions = n;
+  }
   mc_opt.mission_length = sim::millis_to_ticks(mission_ms);
   mc_opt.seed = 777;
+  if (bench::progress_requested(argc, argv)) {
+    mc_opt.progress = obs::stderr_progress("missions");
+  }
   const sim::MonteCarloResult mc = sim::monte_carlo_campaign(
       sim::build_sim_tasks(ts, n_hi, n_lo, 1, 1.0), mc_cfg, mc_opt);
   const double bound_trigger =
@@ -98,5 +108,7 @@ int main() {
                       std::to_string(t.deadline_misses)});
   }
   std::cout << per_task;
+  report.set_items(static_cast<double>(mc_opt.missions), "missions");
+  report.note_number("simulated_hours", hours + mc.simulated_hours);
   return 0;
 }

@@ -2,6 +2,7 @@
 /// the library (plus the IEC 61508 profile provided as an extension).
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/safety.hpp"
 #include "ftmc/io/table.hpp"
 
@@ -21,7 +22,8 @@ void print_standard(const ftmc::core::SafetyRequirements& reqs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftmc::bench::BenchReport report("table1_safety_standards", argc, argv);
   std::cout << "=== Table 1 — safety requirements per criticality ===\n\n";
   print_standard(ftmc::core::SafetyRequirements::do178b());
   print_standard(ftmc::core::SafetyRequirements::iec61508());

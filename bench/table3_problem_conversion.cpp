@@ -3,13 +3,15 @@
 /// (C(HI) = 3C, C(LO) = 2C for HI tasks) and its EDF-VD schedulability.
 #include <iostream>
 
+#include "common/experiment_util.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/io/taskset_io.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftmc;
+  bench::BenchReport report("table3_problem_conversion", argc, argv);
   const core::FtTaskSet ts = io::parse_task_set_string(R"(
 mapping HI=B LO=D
 task tau1 T=60 C=5 dal=B f=1e-5

@@ -17,6 +17,8 @@
 #include "ftmc/core/ft_checkpoint.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/exec/stats.hpp"
+#include "ftmc/obs/progress.hpp"
+#include "ftmc/obs/span.hpp"
 
 namespace ftmc::core {
 
@@ -54,6 +56,13 @@ struct DesignSpaceOptions {
   /// result does not depend on this value.
   int threads = 1;
   exec::RunStats* stats = nullptr;  ///< optional run counters
+  /// Optional span recorder: records one "design_point" span per grid
+  /// point into per-worker lanes (see exec::ParallelOptions::spans).
+  obs::SpanRecorder* spans = nullptr;
+  /// Optional progress callback (done = grid points evaluated), invoked
+  /// from the calling thread at most every progress_interval seconds.
+  obs::ProgressFn progress;
+  double progress_interval = 0.25;
 };
 
 /// Runs FT-S (re-execution for segments == 1, the checkpointed pipeline

@@ -1,9 +1,17 @@
 #include "ftmc/core/conversion.hpp"
 
+#include "ftmc/obs/registry.hpp"
+
 namespace ftmc::core {
 
 mcs::McTaskSet convert_to_mc(const FtTaskSet& ts, const PerTaskProfile& n,
                              const PerTaskProfile& n_adapt) {
+  // FT -> MC conversions performed; a proxy for profile-search effort
+  // (off unless the global registry is enabled).
+  static obs::Counter conversions =
+      obs::Registry::global().counter("core.conversions");
+  conversions.inc();
+
   ts.validate();
   FTMC_EXPECTS(n.size() == ts.size() && n_adapt.size() == ts.size(),
                "profile sizes must match task set");

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "ftmc/exec/stats.hpp"
+#include "ftmc/obs/progress.hpp"
+#include "ftmc/obs/span.hpp"
 
 namespace ftmc::exec {
 
@@ -40,6 +42,17 @@ struct ParallelOptions {
   std::size_t chunk_size = 0;
   RunStats* stats = nullptr;   ///< optional run counters
   const char* phase = "parallel";  ///< phase name used with `stats`
+  /// Optional span recorder: the region records one span per chunk
+  /// (named `phase`) into per-worker lanes ("main" for the calling
+  /// thread, "worker-N" for pool workers), and the worker's lane stays
+  /// installed while chunk bodies run, so nested library spans land on
+  /// the right timeline. Null = tracing off (no cost beyond a TLS read).
+  obs::SpanRecorder* spans = nullptr;
+  /// Optional progress callback, invoked from the CALLING thread only
+  /// (never concurrently) at most every `progress_interval` seconds,
+  /// plus a final {done == total} call when the region completes.
+  obs::ProgressFn progress;
+  double progress_interval = 0.25;  ///< min seconds between callbacks
 };
 
 /// Resolves ParallelOptions::threads (<= 0 -> hardware concurrency).

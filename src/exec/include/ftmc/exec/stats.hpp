@@ -6,13 +6,23 @@
 /// "design_space", ...). Callers opt in by passing a RunStats pointer
 /// through ParallelOptions; the default is no accounting at all, so the
 /// hot path pays nothing.
+///
+/// Since the observability layer landed, RunStats is a thin adapter over
+/// an obs::Registry — every phase becomes the metric family
+/// `exec.<phase>.{items,chunks,regions,wall_seconds,threads}` so that one
+/// accounting system feeds both the human-readable summary() and the
+/// machine-readable BENCH_*.json registry snapshots. The historical API
+/// (record / phase / phases / summary) is unchanged.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "ftmc/obs/registry.hpp"
 
 namespace ftmc::exec {
 
@@ -25,9 +35,15 @@ struct PhaseStats {
   int threads = 0;            ///< max worker count observed
 };
 
-/// Thread-safe registry of per-phase counters.
+/// Thread-safe registry of per-phase counters (adapter over obs::Registry).
 class RunStats {
  public:
+  /// Owns a private, always-enabled registry.
+  RunStats();
+  /// Adapts a shared registry (not owned; must outlive this object).
+  /// Phases recorded here only stick if `registry` is enabled.
+  explicit RunStats(obs::Registry* registry);
+
   /// Accumulates `s` into the phase named `phase` (created on first use).
   void record(const std::string& phase, const PhaseStats& s);
 
@@ -43,9 +59,16 @@ class RunStats {
   /// threads".
   [[nodiscard]] std::string summary() const;
 
+  /// The backing registry (for snapshotting alongside other metrics).
+  [[nodiscard]] obs::Registry& registry() noexcept { return *registry_; }
+
  private:
+  [[nodiscard]] PhaseStats read_phase(const std::string& name) const;
+
+  std::unique_ptr<obs::Registry> owned_;
+  obs::Registry* registry_;
   mutable std::mutex mu_;
-  std::vector<std::pair<std::string, PhaseStats>> phases_;
+  std::vector<std::string> order_;  ///< phases in first-recorded order
 };
 
 }  // namespace ftmc::exec

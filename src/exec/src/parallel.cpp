@@ -5,10 +5,62 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <string>
 
 #include "ftmc/exec/thread_pool.hpp"
 
 namespace ftmc::exec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Rate-limited progress reporting; only the coordinating thread touches
+/// an instance, so no synchronization is needed beyond reading `done`.
+class ProgressReporter {
+ public:
+  ProgressReporter(const ParallelOptions& options, std::size_t total,
+                   Clock::time_point t0)
+      : options_(options), total_(total), t0_(t0), last_(t0) {}
+
+  void maybe_report(std::size_t done) {
+    if (!options_.progress || done >= total_) return;
+    const Clock::time_point now = Clock::now();
+    if (std::chrono::duration<double>(now - last_).count() <
+        options_.progress_interval) {
+      return;
+    }
+    last_ = now;
+    report(done);
+  }
+
+  void final_report() {
+    if (options_.progress) report(total_);
+  }
+
+ private:
+  void report(std::size_t done) {
+    obs::Progress p;
+    p.done = done;
+    p.total = total_;
+    p.wall_seconds = seconds_since(t0_);
+    p.eta_seconds =
+        done > 0 ? p.wall_seconds / static_cast<double>(done) *
+                       static_cast<double>(total_ - done)
+                 : -1.0;
+    options_.progress(p);
+  }
+
+  const ParallelOptions& options_;
+  std::size_t total_;
+  Clock::time_point t0_;
+  Clock::time_point last_;
+};
+
+}  // namespace
 
 int resolve_threads(int threads) noexcept {
   return threads <= 0 ? ThreadPool::hardware_threads() : threads;
@@ -21,30 +73,46 @@ std::size_t resolve_chunk(std::size_t chunk_size) noexcept {
 void parallel_for(std::size_t n, const ParallelOptions& options,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = Clock::now();
   const std::size_t chunk = resolve_chunk(options.chunk_size);
   const std::size_t n_chunks = (n + chunk - 1) / chunk;
   const int threads = static_cast<int>(
       std::min<std::size_t>(
           static_cast<std::size_t>(resolve_threads(options.threads)),
           n_chunks));
+  ProgressReporter reporter(options, n, t0);
 
   if (threads <= 1) {
+    obs::LaneGuard lane(options.spans, "main");
+    std::size_t done = 0;
     for (std::size_t c = 0; c < n_chunks; ++c) {
-      body(c * chunk, std::min(n, (c + 1) * chunk));
+      const std::size_t end = std::min(n, (c + 1) * chunk);
+      {
+        obs::ScopedSpan span(options.phase);
+        body(c * chunk, end);
+      }
+      done = end;
+      reporter.maybe_report(done);
     }
   } else {
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
     std::atomic<bool> cancelled{false};
     std::exception_ptr error;
     std::mutex error_mu;
-    const auto drain = [&] {
+    // `coordinator` marks the calling thread: it alone fires the progress
+    // callback, between the chunks it executes itself.
+    const auto drain = [&](const std::string& lane_name, bool coordinator) {
+      obs::LaneGuard lane(options.spans, lane_name);
       for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
            c < n_chunks;
            c = next.fetch_add(1, std::memory_order_relaxed)) {
         if (cancelled.load(std::memory_order_relaxed)) return;
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
         try {
-          body(c * chunk, std::min(n, (c + 1) * chunk));
+          obs::ScopedSpan span(options.phase);
+          body(begin, end);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(error_mu);
@@ -53,6 +121,10 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
           cancelled.store(true, std::memory_order_relaxed);
           return;
         }
+        const std::size_t total_done =
+            done.fetch_add(end - begin, std::memory_order_relaxed) +
+            (end - begin);
+        if (coordinator) reporter.maybe_report(total_done);
       }
     };
     {
@@ -60,11 +132,17 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
       // The pool destructor runs the queue dry and joins, so leaving
       // this scope is the completion barrier.
       ThreadPool pool(threads - 1);
-      for (int w = 0; w < threads - 1; ++w) pool.submit(drain);
-      drain();
+      for (int w = 0; w < threads - 1; ++w) {
+        pool.submit([&drain, w] {
+          drain("worker-" + std::to_string(w), false);
+        });
+      }
+      drain("main", true);
     }
     if (error) std::rethrow_exception(error);
   }
+
+  reporter.final_report();
 
   if (options.stats != nullptr) {
     PhaseStats s;
@@ -72,9 +150,7 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
     s.chunks = n_chunks;
     s.regions = 1;
     s.threads = threads;
-    s.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    s.wall_seconds = seconds_since(t0);
     options.stats->record(options.phase, s);
   }
 }

@@ -3,34 +3,67 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ftmc/common/contracts.hpp"
+
 namespace ftmc::exec {
+namespace {
+
+std::string metric(const std::string& phase, const char* field) {
+  return "exec." + phase + "." + field;
+}
+
+}  // namespace
+
+RunStats::RunStats()
+    : owned_(std::make_unique<obs::Registry>(/*enabled=*/true)),
+      registry_(owned_.get()) {}
+
+RunStats::RunStats(obs::Registry* registry) : registry_(registry) {
+  FTMC_EXPECTS(registry != nullptr, "RunStats needs a registry to adapt");
+}
 
 void RunStats::record(const std::string& phase, const PhaseStats& s) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, acc] : phases_) {
-    if (name == phase) {
-      acc.items += s.items;
-      acc.chunks += s.chunks;
-      acc.regions += s.regions;
-      acc.wall_seconds += s.wall_seconds;
-      acc.threads = std::max(acc.threads, s.threads);
-      return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(order_.begin(), order_.end(), phase) == order_.end()) {
+      order_.push_back(phase);
     }
   }
-  phases_.emplace_back(phase, s);
+  registry_->counter(metric(phase, "items")).inc(s.items);
+  registry_->counter(metric(phase, "chunks")).inc(s.chunks);
+  registry_->counter(metric(phase, "regions")).inc(s.regions);
+  registry_->gauge(metric(phase, "wall_seconds")).add(s.wall_seconds);
+  registry_->gauge(metric(phase, "threads"))
+      .set_max(static_cast<double>(s.threads));
+}
+
+PhaseStats RunStats::read_phase(const std::string& name) const {
+  PhaseStats s;
+  s.items = registry_->counter(metric(name, "items")).value();
+  s.chunks = registry_->counter(metric(name, "chunks")).value();
+  s.regions = registry_->counter(metric(name, "regions")).value();
+  s.wall_seconds = registry_->gauge(metric(name, "wall_seconds")).value();
+  s.threads =
+      static_cast<int>(registry_->gauge(metric(name, "threads")).value());
+  return s;
 }
 
 PhaseStats RunStats::phase(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [phase_name, acc] : phases_) {
-    if (phase_name == name) return acc;
-  }
-  return {};
+  return read_phase(name);
 }
 
 std::vector<std::pair<std::string, PhaseStats>> RunStats::phases() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return phases_;
+  std::vector<std::string> order;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    order = order_;
+  }
+  std::vector<std::pair<std::string, PhaseStats>> out;
+  out.reserve(order.size());
+  for (const std::string& name : order) {
+    out.emplace_back(name, read_phase(name));
+  }
+  return out;
 }
 
 std::string RunStats::summary() const {

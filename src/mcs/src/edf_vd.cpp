@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "ftmc/obs/registry.hpp"
+
 namespace ftmc::mcs {
 
 double edf_vd_umc(double u_lo_lo, double u_hi_lo, double u_hi_hi) {
@@ -20,6 +22,12 @@ double edf_vd_umc(double u_lo_lo, double u_hi_lo, double u_hi_hi) {
 }
 
 EdfVdAnalysis analyze_edf_vd(const McTaskSet& ts) {
+  // Admission-test call volume; off unless the global registry is
+  // enabled (FTMC_OBS or an explicit enable() by the harness).
+  static obs::Counter admissions =
+      obs::Registry::global().counter("mcs.edf_vd.admissions");
+  admissions.inc();
+
   ts.validate();
   FTMC_EXPECTS(ts.all_implicit_deadlines(),
                "EDF-VD utilization test requires implicit deadlines");

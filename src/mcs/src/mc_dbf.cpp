@@ -4,9 +4,19 @@
 #include <cmath>
 
 #include "ftmc/mcs/edf.hpp"
+#include "ftmc/obs/registry.hpp"
 
 namespace ftmc::mcs {
 namespace {
+
+/// edf_schedulable call volume inside MC-DBF — the dominant cost of the
+/// test; off unless the global registry is enabled.
+EdfDbfResult tracked_edf(const std::vector<SporadicTask>& view) {
+  static obs::Counter evals =
+      obs::Registry::global().counter("mcs.mc_dbf.edf_evals");
+  evals.inc();
+  return edf_schedulable(view);
+}
 
 /// LO-mode view: all tasks at C(LO); HI tasks against their virtual
 /// deadlines. HI tasks with a zero LO budget (adaptation profile n' = 0)
@@ -49,14 +59,18 @@ bool both_modes_feasible(const McTaskSet& ts,
                          const std::vector<Millis>& vd) {
   const auto hi = hi_mode_view(ts, vd);
   if (!hi_view_well_formed(hi)) return false;
-  return edf_schedulable(lo_mode_view(ts, vd)).schedulable &&
-         edf_schedulable(hi).schedulable;
+  return tracked_edf(lo_mode_view(ts, vd)).schedulable &&
+         tracked_edf(hi).schedulable;
 }
 
 }  // namespace
 
 McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
                              const McDbfOptions& options) {
+  static obs::Counter analyses =
+      obs::Registry::global().counter("mcs.mc_dbf.analyses");
+  analyses.inc();
+
   ts.validate();
   FTMC_EXPECTS(ts.all_constrained_deadlines(),
                "MC-DBF requires constrained deadlines (D <= T)");
@@ -72,7 +86,7 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
   // are needed: the runtime never depends on the mode switch, and the
   // carry-over pessimism below is avoided entirely. This also makes the
   // test dominate the no-adaptation baseline.
-  if (edf_schedulable(as_sporadic_own_level(ts)).schedulable) {
+  if (tracked_edf(as_sporadic_own_level(ts)).schedulable) {
     result.schedulable = true;
     for (std::size_t i = 0; i < ts.size(); ++i) {
       result.virtual_deadlines[i] = ts[i].deadline;
@@ -114,7 +128,7 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
   for (int k = options.grid; k >= 1 && !have_start; --k) {
     const double x = static_cast<double>(k) / (options.grid + 1);
     auto candidate = assign_uniform(x);
-    if (edf_schedulable(lo_mode_view(ts, candidate)).schedulable) {
+    if (tracked_edf(lo_mode_view(ts, candidate)).schedulable) {
       vd = std::move(candidate);
       result.uniform_factor = x;
       have_start = true;
@@ -126,9 +140,9 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
   for (int step = 0; step < options.max_refinement_steps; ++step) {
     const auto hi = hi_mode_view(ts, vd);
     if (!hi_view_well_formed(hi)) break;
-    const EdfDbfResult hi_result = edf_schedulable(hi);
+    const EdfDbfResult hi_result = tracked_edf(hi);
     if (hi_result.schedulable) {
-      if (edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+      if (tracked_edf(lo_mode_view(ts, vd)).schedulable) {
         result.schedulable = true;
         result.virtual_deadlines = vd;
         result.refinement_steps = step;
@@ -171,7 +185,7 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
     }
     const Millis previous = vd[best];
     vd[best] = new_vd;
-    if (!edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+    if (!tracked_edf(lo_mode_view(ts, vd)).schedulable) {
       vd[best] = previous;  // LO cannot afford it: freeze and move on
       frozen[best] = true;
     }

@@ -1,0 +1,247 @@
+/// \file registry.hpp
+/// \brief Thread-safe metrics registry: counters, gauges and fixed-bucket
+///        histograms with per-thread sharded accumulation.
+///
+/// The observability spine of the repo. Hot paths hold cheap *handles*
+/// (a single pointer) to metric cells owned by a Registry; increments are
+/// lock-free relaxed atomics on a per-thread shard, merged only when a
+/// snapshot is taken. A disabled registry turns every handle into a
+/// near-no-op (one relaxed load and a predictable branch), so
+/// instrumentation can stay compiled in everywhere.
+///
+/// Naming scheme (see docs/observability.md): dot-separated
+/// `<layer>.<subsystem>.<metric>`, unit suffixes spelled out (`_us`,
+/// `_seconds`). Metrics are created on first use and keep their
+/// registration order in snapshots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftmc::obs {
+
+/// Number of per-thread shards per counter/histogram. Threads map onto
+/// shards by a thread-local sequential id, so up to kShards threads never
+/// contend on the same cache line.
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+
+/// Shard index of the calling thread (sequential thread id mod kShards).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+/// Portable atomic add/max for doubles (CAS loop; atomic<double>::fetch_add
+/// is not available on every toolchain this repo targets).
+void atomic_add_double(std::atomic<double>& target, double value) noexcept;
+void atomic_max_double(std::atomic<double>& target, double value) noexcept;
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterCell {
+  CounterCell(std::string n, const std::atomic<bool>* on)
+      : name(std::move(n)), enabled(on) {}
+  std::string name;
+  const std::atomic<bool>* enabled;
+  std::array<CounterShard, kShards> shards{};
+
+  void add(std::uint64_t n) noexcept {
+    shards[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const CounterShard& s : shards) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+};
+
+struct GaugeCell {
+  GaugeCell(std::string n, const std::atomic<bool>* on)
+      : name(std::move(n)), enabled(on) {}
+  std::string name;
+  const std::atomic<bool>* enabled;
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramCell {
+  HistogramCell(std::string n, const std::atomic<bool>* on,
+                std::vector<double> upper_bounds);
+  std::string name;
+  const std::atomic<bool>* enabled;
+  /// Ascending finite bucket upper bounds; an implicit +inf overflow
+  /// bucket follows, so there are bounds.size() + 1 buckets in total.
+  std::vector<double> bounds;
+
+  struct alignas(64) Shard {
+    explicit Shard(std::size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::deque<Shard> shards;  // kShards entries; deque: Shard is immovable
+
+  void observe(double value) noexcept;
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Default-constructed handles are inert; inc()
+/// on a handle of a disabled registry is a no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) noexcept {
+    if (cell_ != nullptr &&
+        cell_->enabled->load(std::memory_order_relaxed)) {
+      cell_->add(n);
+    }
+  }
+  /// Merged value over all shards (reads even when disabled).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->total() : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-value / accumulating gauge handle (doubles).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) noexcept {
+    if (on()) cell_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) noexcept {
+    if (on()) detail::atomic_add_double(cell_->value, v);
+  }
+  /// Raises the gauge to `v` if it is larger than the current value.
+  void set_max(double v) noexcept {
+    if (on()) detail::atomic_max_double(cell_->value, v);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                            : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  [[nodiscard]] bool on() const noexcept {
+    return cell_ != nullptr &&
+           cell_->enabled->load(std::memory_order_relaxed);
+  }
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. Values are assumed non-negative (times,
+/// counts); a value above the last finite bound lands in the overflow
+/// bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) noexcept {
+    if (cell_ != nullptr &&
+        cell_->enabled->load(std::memory_order_relaxed)) {
+      cell_->observe(v);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// Merged histogram state at scrape time.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;         ///< finite upper bounds
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 buckets
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (the convention used by Prometheus). q in [0, 1]. The overflow
+  /// bucket reports its lower edge (the last finite bound); an empty
+  /// histogram reports 0.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Merged registry state at scrape time, in registration order.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — see
+  /// docs/observability.md for the exact schema.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// `count` bounds starting at `start`, each `factor` times the previous.
+[[nodiscard]] std::vector<double> exponential_buckets(double start,
+                                                      double factor,
+                                                      int count);
+/// `count` bounds start, start + step, ...
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step,
+                                                 int count);
+
+/// The registry. Metric creation and scraping take a mutex; increments
+/// through handles never do.
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Handle to the counter named `name`, created on first use. Handles
+  /// stay valid for the registry's lifetime.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  /// Handle to the histogram named `name`. `upper_bounds` (ascending,
+  /// finite) applies on first creation only; empty selects the default
+  /// exponential_buckets(100, 4, 12) — microsecond latencies from 100 us
+  /// to ~7 min. Later calls with the same name reuse the existing cell.
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    std::vector<double> upper_bounds = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::string snapshot_json() const;
+
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool is_enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide registry used by library-internal instrumentation
+  /// (analysis hot-path counters). Starts disabled unless the FTMC_OBS
+  /// environment variable is set to a non-empty, non-"0" value; benches
+  /// enable it explicitly.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  // deques: cells hold atomics and must never move once handed out.
+  std::deque<detail::CounterCell> counters_;
+  std::deque<detail::GaugeCell> gauges_;
+  std::deque<detail::HistogramCell> histograms_;
+};
+
+}  // namespace ftmc::obs

@@ -1,0 +1,125 @@
+/// \file span.hpp
+/// \brief Span tracing: RAII timers recording into per-thread bounded
+///        lanes, exported as Chrome trace-event JSON.
+///
+/// Usage pattern (mirrors how the exec runtime wires it):
+///
+///   obs::SpanRecorder recorder;          // one per experiment
+///   // on each worker thread:
+///   obs::LaneGuard lane(&recorder, "worker-3");   // installs TLS lane
+///   {
+///     obs::ScopedSpan span("mission");   // times this scope
+///     ...
+///   }
+///   recorder.write_chrome_trace(file);   // open in Perfetto
+///
+/// ScopedSpan with no lane installed (no LaneGuard on this thread, or a
+/// null recorder) is a no-op: one thread-local read and a branch. Lanes
+/// are bounded; spans beyond the capacity are dropped and counted, never
+/// reallocated — the hot path stays allocation-free after lane creation.
+///
+/// Span names must outlive the recorder (string literals in practice).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ftmc::obs {
+
+/// One completed span: [begin_ns, end_ns) relative to the recorder epoch.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+class SpanRecorder {
+ public:
+  /// A per-thread event buffer. Single writer (the owning thread);
+  /// exported after the writing threads have joined.
+  struct Lane {
+    Lane(std::string lane_name, std::size_t capacity)
+        : name(std::move(lane_name)), events(capacity) {}
+    std::string name;
+    std::vector<SpanEvent> events;     ///< fixed capacity, never grows
+    std::atomic<std::size_t> count{0}; ///< committed events
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  explicit SpanRecorder(std::size_t capacity_per_lane = 1 << 14,
+                        std::size_t max_lanes = 256);
+
+  /// The lane named `name`, created on first use (nullptr once max_lanes
+  /// is reached — tracing then degrades to dropping, never failing).
+  /// Lanes are keyed by name: re-entering "worker-0" in a later parallel
+  /// region continues the same timeline lane. Two threads must not write
+  /// the same lane concurrently (the exec runtime guarantees distinct
+  /// per-worker names within a region).
+  [[nodiscard]] Lane* acquire_lane(const std::string& name);
+
+  /// Nanoseconds since the recorder was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Appends this recorder's lanes as Chrome trace events under `pid`
+  /// (thread-name metadata plus balanced B/E pairs per lane).
+  void append_chrome_events(std::vector<std::string>& out, int pid = 1,
+                            const std::string& process = "ftmc") const;
+  [[nodiscard]] std::string chrome_trace_json(int pid = 1) const;
+  void write_chrome_trace(std::ostream& os, int pid = 1) const;
+
+  [[nodiscard]] std::size_t lane_count() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  std::size_t max_lanes_;
+  mutable std::mutex mu_;
+  std::deque<Lane> lanes_;  // stable addresses for handed-out Lane*
+};
+
+namespace detail {
+struct CurrentLane {
+  SpanRecorder* recorder = nullptr;
+  SpanRecorder::Lane* lane = nullptr;
+};
+[[nodiscard]] CurrentLane& current_lane() noexcept;
+}  // namespace detail
+
+/// Installs `recorder`'s lane `name` as the calling thread's current lane
+/// for the guard's lifetime (restoring the previous one after). A null
+/// recorder installs nothing — spans in scope stay no-ops.
+class LaneGuard {
+ public:
+  LaneGuard(SpanRecorder* recorder, const std::string& name);
+  ~LaneGuard();
+  LaneGuard(const LaneGuard&) = delete;
+  LaneGuard& operator=(const LaneGuard&) = delete;
+
+ private:
+  detail::CurrentLane saved_;
+};
+
+/// RAII span on the calling thread's current lane (no-op without one).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanRecorder* recorder_ = nullptr;
+  SpanRecorder::Lane* lane_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace ftmc::obs

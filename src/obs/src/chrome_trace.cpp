@@ -1,0 +1,106 @@
+#include "ftmc/obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ftmc::obs::chrome {
+namespace {
+
+std::string ts_field(double ts_us) {
+  // Perfetto accepts fractional microseconds; keep enough digits for the
+  // nanosecond clock underneath.
+  std::ostringstream out;
+  out.precision(15);
+  out << (std::isfinite(ts_us) ? ts_us : 0.0);
+  return out.str();
+}
+
+void append_args(std::string& out, std::string_view args_json) {
+  if (!args_json.empty()) {
+    out += ",\"args\":";
+    out += args_json;
+  }
+}
+
+}  // namespace
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string duration_begin(std::string_view name, int pid, int tid,
+                           double ts_us, std::string_view args_json) {
+  std::string out = "{\"name\":\"" + escape(name) +
+                    "\",\"cat\":\"ftmc\",\"ph\":\"B\",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                    ",\"ts\":" + ts_field(ts_us);
+  append_args(out, args_json);
+  out += "}";
+  return out;
+}
+
+std::string duration_end(int pid, int tid, double ts_us) {
+  return "{\"ph\":\"E\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + ts_field(ts_us) +
+         "}";
+}
+
+std::string instant(std::string_view name, int pid, int tid, double ts_us,
+                    std::string_view args_json) {
+  std::string out = "{\"name\":\"" + escape(name) +
+                    "\",\"cat\":\"ftmc\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                    ",\"ts\":" + ts_field(ts_us);
+  append_args(out, args_json);
+  out += "}";
+  return out;
+}
+
+std::string thread_name(int pid, int tid, std::string_view name) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" + escape(name) + "\"}}";
+}
+
+std::string process_name(int pid, std::string_view name) {
+  return "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         escape(name) + "\"}}";
+}
+
+std::string trace_document(const std::vector<std::string>& events) {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += events[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void write_trace(std::ostream& os, const std::vector<std::string>& events) {
+  os << trace_document(events);
+}
+
+}  // namespace ftmc::obs::chrome

@@ -16,6 +16,7 @@
 #include <random>
 
 #include "ftmc/mcs/schedulability.hpp"
+#include "ftmc/obs/registry.hpp"
 #include "ftmc/sim/model.hpp"
 #include "ftmc/sim/stats.hpp"
 #include "ftmc/sim/trace.hpp"
@@ -54,6 +55,14 @@ struct SimConfig {
 
   /// Keep at most this many trace events (0 disables tracing).
   std::size_t trace_capacity = 0;
+
+  /// Optional metrics registry. When set, the run feeds scheduling
+  /// counters (sim.releases, sim.preemptions, sim.mode_switches,
+  /// sim.kills, sim.reexecutions, ...) and per-task response-time
+  /// histograms (sim.response_us.<task>) from the trace-event stream —
+  /// without growing (or requiring) the trace buffer. Null = off; the
+  /// hot path then pays a single pointer test per event.
+  obs::Registry* registry = nullptr;
 };
 
 /// The simulator. Construct, run once, inspect stats/trace.
@@ -106,8 +115,18 @@ class Simulator {
   void finish_segment(std::size_t job_slot, Tick now);
   void enter_hi_mode(Tick now);
   void maybe_reset_mode(Tick now);
+  void record_slow(Tick time, TraceKind kind, std::uint32_t task,
+                   std::uint64_t job, std::uint32_t detail);
+  /// Hot-path event sink: a single byte test when neither tracing nor
+  /// metrics are attached (the common case), everything else out of line.
   void record(Tick time, TraceKind kind, std::uint32_t task,
-              std::uint64_t job, std::uint32_t detail = 0);
+              std::uint64_t job, std::uint32_t detail = 0) {
+    if (record_flags_ != 0) record_slow(time, kind, task, job, detail);
+  }
+
+  /// Bits of record_flags_.
+  static constexpr std::uint8_t kRecordTrace = 1;    ///< trace buffer on
+  static constexpr std::uint8_t kRecordMetrics = 2;  ///< registry attached
 
   std::vector<SimTask> tasks_;
   SimConfig config_;
@@ -126,6 +145,19 @@ class Simulator {
 
   SimStats stats_;
   std::vector<TraceEvent> trace_;
+
+  /// Registry handles, resolved once at construction (see
+  /// SimConfig::registry). Engaged only when a registry is attached.
+  /// Declared last: the cold handles must not shift the scheduler's hot
+  /// state across cache lines.
+  struct Metrics {
+    obs::Counter releases, dispatches, preemptions, reexecutions,
+        completions, job_failures, deadline_misses, mode_switches,
+        mode_resets, kills;
+    std::vector<obs::Histogram> response_us;  ///< per task
+  };
+  std::optional<Metrics> metrics_;
+  std::uint8_t record_flags_ = 0;  ///< kRecordTrace | kRecordMetrics
 };
 
 /// One-call helper: build tasks from the analysis model, run, and return

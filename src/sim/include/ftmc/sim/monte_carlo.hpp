@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "ftmc/exec/stats.hpp"
+#include "ftmc/obs/progress.hpp"
+#include "ftmc/obs/span.hpp"
 #include "ftmc/sim/engine.hpp"
 
 namespace ftmc::sim {
@@ -44,6 +46,13 @@ struct MonteCarloOptions {
   /// value — per-mission accumulators are merged in mission order.
   int threads = 1;
   exec::RunStats* stats = nullptr;  ///< optional run counters
+  /// Optional span recorder: records one "mission" span per mission into
+  /// per-worker lanes (see exec::ParallelOptions::spans).
+  obs::SpanRecorder* spans = nullptr;
+  /// Optional progress callback (done = missions finished), invoked from
+  /// the calling thread at most every progress_interval seconds.
+  obs::ProgressFn progress;
+  double progress_interval = 0.25;
 };
 
 /// Aggregated campaign results.

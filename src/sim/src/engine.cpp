@@ -2,44 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <ostream>
 
 #include "ftmc/common/contracts.hpp"
 
 namespace ftmc::sim {
-
-std::string_view to_string(TraceKind kind) {
-  switch (kind) {
-    case TraceKind::kRelease: return "release";
-    case TraceKind::kStart: return "start";
-    case TraceKind::kPreempt: return "preempt";
-    case TraceKind::kAttemptFail: return "attempt-fail";
-    case TraceKind::kComplete: return "complete";
-    case TraceKind::kJobFail: return "job-fail";
-    case TraceKind::kDeadlineMiss: return "deadline-miss";
-    case TraceKind::kModeSwitch: return "mode-switch";
-    case TraceKind::kModeReset: return "mode-reset";
-    case TraceKind::kKill: return "kill";
-  }
-  return "?";
-}
-
-std::ostream& operator<<(std::ostream& os, const TraceEvent& ev) {
-  os << "[" << ev.time << "] " << to_string(ev.kind) << " task=" << ev.task
-     << " job=" << ev.job;
-  if (ev.detail != 0) os << " attempt=" << ev.detail;
-  return os;
-}
-
-void write_trace_csv(std::ostream& os, const std::vector<TraceEvent>& trace,
-                     const std::vector<std::string>& task_names) {
-  os << "time_us,kind,task,task_name,job,detail\n";
-  for (const TraceEvent& ev : trace) {
-    os << ev.time << "," << to_string(ev.kind) << "," << ev.task << ","
-       << (ev.task < task_names.size() ? task_names[ev.task] : "") << ","
-       << ev.job << "," << ev.detail << "\n";
-  }
-}
 
 namespace {
 constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
@@ -75,11 +41,59 @@ Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
   stats_.per_task.resize(tasks_.size());
   next_release_.assign(tasks_.size(), 0);
   next_job_id_.assign(tasks_.size(), 0);
+
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    Metrics m;
+    m.releases = reg.counter("sim.releases");
+    m.dispatches = reg.counter("sim.dispatches");
+    m.preemptions = reg.counter("sim.preemptions");
+    m.reexecutions = reg.counter("sim.reexecutions");
+    m.completions = reg.counter("sim.completions");
+    m.job_failures = reg.counter("sim.job_failures");
+    m.deadline_misses = reg.counter("sim.deadline_misses");
+    m.mode_switches = reg.counter("sim.mode_switches");
+    m.mode_resets = reg.counter("sim.mode_resets");
+    m.kills = reg.counter("sim.kills");
+    m.response_us.reserve(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const std::string& name = tasks_[i].name;
+      m.response_us.push_back(reg.histogram(
+          "sim.response_us." +
+          (name.empty() ? "task" + std::to_string(i) : name)));
+    }
+    metrics_.emplace(std::move(m));
+  }
+  if (config_.trace_capacity > 0) record_flags_ |= kRecordTrace;
+  if (metrics_) record_flags_ |= kRecordMetrics;
 }
 
-void Simulator::record(Tick time, TraceKind kind, std::uint32_t task,
-                       std::uint64_t job, std::uint32_t detail) {
-  if (trace_.size() < config_.trace_capacity) {
+// Out of line and cold: record() itself is a single byte test (see
+// engine.hpp), so a run with neither tracing nor metrics attached pays
+// nothing measurable per event.
+__attribute__((noinline, cold)) void Simulator::record_slow(
+    Tick time, TraceKind kind, std::uint32_t task, std::uint64_t job,
+    std::uint32_t detail) {
+  if ((record_flags_ & kRecordMetrics) != 0) {
+    // Metrics piggyback on the trace-event stream but don't need (or
+    // grow) the trace buffer.
+    switch (kind) {
+      case TraceKind::kRelease: metrics_->releases.inc(); break;
+      case TraceKind::kStart: metrics_->dispatches.inc(); break;
+      case TraceKind::kPreempt: metrics_->preemptions.inc(); break;
+      case TraceKind::kAttemptFail: metrics_->reexecutions.inc(); break;
+      case TraceKind::kComplete: metrics_->completions.inc(); break;
+      case TraceKind::kJobFail: metrics_->job_failures.inc(); break;
+      case TraceKind::kDeadlineMiss:
+        metrics_->deadline_misses.inc();
+        break;
+      case TraceKind::kModeSwitch: metrics_->mode_switches.inc(); break;
+      case TraceKind::kModeReset: metrics_->mode_resets.inc(); break;
+      case TraceKind::kKill: metrics_->kills.inc(); break;
+    }
+  }
+  if ((record_flags_ & kRecordTrace) != 0 &&
+      trace_.size() < config_.trace_capacity) {
     trace_.push_back({time, kind, task, job, detail});
   }
 }
@@ -264,6 +278,10 @@ void Simulator::finish_segment(std::size_t job_slot, Tick now) {
     const Tick response = now - job.release;
     ts.max_response = std::max(ts.max_response, response);
     ts.total_response += response;
+    if (metrics_) {
+      metrics_->response_us[task_index].observe(
+          static_cast<double>(response));
+    }
     if (now > job.abs_deadline) {
       ++ts.deadline_misses;
       record(now, TraceKind::kDeadlineMiss, task_index, job.id);
