@@ -1,13 +1,12 @@
 #include "experiment_util.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
-#include "ftmc/exec/parallel.hpp"
-#include "ftmc/exec/seed.hpp"
 #include "ftmc/io/json.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/obs/registry.hpp"
@@ -106,63 +105,47 @@ bool progress_requested(int argc, char** argv) {
   return false;
 }
 
-namespace {
-
-Fig3Point run_fig3_point(const Fig3Config& config, double f, double u,
-                         std::size_t point_index) {
-  taskgen::GeneratorParams params;
-  params.target_utilization = u;
-  params.failure_prob = f;
-  params.mapping = config.mapping;
-  // Distinct, reproducible stream per data point, a pure function of
-  // (seed, grid index) — independent of thread count and of the other
-  // points' parameter values.
-  taskgen::Rng rng(exec::derive_seed(config.seed, point_index));
-
-  int accept_without = 0;
-  int accept_with = 0;
-  for (int i = 0; i < config.sets_per_point; ++i) {
-    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
-
-    core::FtsConfig fts;
-    fts.adaptation.kind = config.kind;
-    fts.adaptation.degradation_factor = config.degradation_factor;
-    fts.adaptation.os_hours = config.os_hours;
-    fts.prefer_no_adaptation = true;
-    const core::FtsResult r = core::ft_schedule(ts, fts);
-    if (r.feasible_without_adaptation) ++accept_without;
-    if (r.success) ++accept_with;
-  }
-  Fig3Point p;
-  p.failure_prob = f;
-  p.utilization = u;
-  p.ratio_without =
-      static_cast<double>(accept_without) / config.sets_per_point;
-  p.ratio_with = static_cast<double>(accept_with) / config.sets_per_point;
-  return p;
+campaign::CampaignSpec fig3_campaign_spec(const Fig3Config& config,
+                                          std::string name) {
+  campaign::CampaignSpec spec;
+  spec.name = std::move(name);
+  spec.title = config.title.empty() ? spec.name : config.title;
+  spec.schedulers = {config.kind == mcs::AdaptationKind::kKilling
+                         ? campaign::Scheduler::kEdfVdKilling
+                         : campaign::Scheduler::kEdfVdDegradation};
+  spec.mapping = config.mapping;
+  spec.degradation_factor = config.degradation_factor;
+  spec.os_hours = config.os_hours;
+  spec.failure_probs = config.failure_probs;
+  spec.utilizations = config.utilizations;
+  spec.sets_per_point = config.sets_per_point;
+  spec.seed = config.seed;
+  return spec;
 }
 
-}  // namespace
+std::vector<Fig3Point> fig3_points_from(
+    const campaign::CampaignResult& result) {
+  std::vector<Fig3Point> points;
+  points.reserve(result.cells.size());
+  for (const campaign::CellOutcome& outcome : result.cells) {
+    if (!outcome.completed) continue;
+    Fig3Point p;
+    p.failure_prob = outcome.cell.failure_prob;
+    p.utilization = outcome.cell.utilization;
+    p.ratio_without = outcome.ratio_without();
+    p.ratio_with = outcome.ratio_with();
+    points.push_back(p);
+  }
+  return points;
+}
 
 std::vector<Fig3Point> run_fig3(const Fig3Config& config) {
-  const std::size_t n_u = config.utilizations.size();
-  const std::size_t n_points = config.failure_probs.size() * n_u;
-  std::vector<Fig3Point> points(n_points);
-  exec::ParallelOptions par;
-  par.threads = config.threads;
-  par.chunk_size = 1;  // one data point = sets_per_point schedulings
-  par.phase = "fig3";
-  par.stats = config.stats;
-  par.progress = config.progress;
-  exec::parallel_for(n_points, par,
-                     [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t i = begin; i < end; ++i) {
-                         const double f = config.failure_probs[i / n_u];
-                         const double u = config.utilizations[i % n_u];
-                         points[i] = run_fig3_point(config, f, u, i);
-                       }
-                     });
-  return points;
+  campaign::RunnerOptions options;
+  options.threads = config.threads;
+  options.stats = config.stats;
+  options.progress = config.progress;
+  return fig3_points_from(
+      campaign::run_campaign(fig3_campaign_spec(config), options));
 }
 
 void print_fig3(const Fig3Config& config,
@@ -198,33 +181,162 @@ void print_fig3(const Fig3Config& config,
   std::cout << std::endl;
 }
 
-Fig3Config apply_cli_overrides(Fig3Config config, int argc, char** argv) {
+void print_fig3(const campaign::CampaignSpec& spec,
+                const std::vector<Fig3Point>& points) {
+  Fig3Config config;
+  config.title = spec.title;
+  config.kind = campaign::adaptation_of(spec.schedulers.front());
+  config.mapping = spec.mapping;
+  config.degradation_factor = spec.degradation_factor;
+  config.failure_probs = spec.failure_probs;
+  config.utilizations = spec.utilizations;
+  config.sets_per_point = spec.sets_per_point;
+  config.os_hours = spec.os_hours;
+  config.seed = spec.seed;
+  print_fig3(config, points);
+}
+
+namespace {
+
+/// Strict integer parsing: the whole token must be consumed.
+[[nodiscard]] Expected<long long> parse_integer(const std::string& what,
+                                                const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Expected<long long>::failure(what + " expects an integer, got \"" +
+                                        text + "\"");
+  }
+  return value;
+}
+
+[[nodiscard]] Expected<std::uint64_t> parse_seed(const std::string& what,
+                                                 const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || text.front() == '-' || end == nullptr ||
+      *end != '\0' || errno == ERANGE) {
+    return Expected<std::uint64_t>::failure(
+        what + " expects an unsigned integer, got \"" + text + "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
+Expected<BenchOverrides> parse_bench_overrides(int argc, char** argv,
+                                               bool allow_campaign_flags) {
+  using Fail = Expected<BenchOverrides>;
+  BenchOverrides overrides;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--progress") {
-      if (!config.progress) {
-        config.progress = obs::stderr_progress("fig3");
-      }
+      overrides.progress = true;
       continue;
     }
-    if (i + 1 >= argc) break;
+    const bool known =
+        flag == "--sets" || flag == "--seed" || flag == "--threads" ||
+        (allow_campaign_flags && (flag == "--spec" || flag == "--out"));
+    if (!known) {
+      return Fail::failure(
+          "unknown argument \"" + flag + "\" (expected --sets N, --seed S, "
+          "--threads T, --progress" +
+          (allow_campaign_flags ? ", --spec FILE, --out DIR)" : ")"));
+    }
+    if (i + 1 >= argc) {
+      return Fail::failure("flag " + flag + " expects a value");
+    }
+    const std::string value = argv[++i];
     if (flag == "--sets") {
-      config.sets_per_point = std::atoi(argv[i + 1]);
+      const auto n = parse_integer("--sets", value);
+      if (!n) return Fail::failure(n.error());
+      if (*n < 1) return Fail::failure("--sets must be >= 1");
+      overrides.sets = static_cast<int>(*n);
     } else if (flag == "--seed") {
-      config.seed = std::strtoull(argv[i + 1], nullptr, 10);
+      const auto s = parse_seed("--seed", value);
+      if (!s) return Fail::failure(s.error());
+      overrides.seed = *s;
     } else if (flag == "--threads") {
-      config.threads = std::atoi(argv[i + 1]);
+      const auto n = parse_integer("--threads", value);
+      if (!n) return Fail::failure(n.error());
+      overrides.threads = static_cast<int>(*n);
+    } else if (flag == "--spec") {
+      overrides.spec = value;
+    } else {  // --out
+      overrides.out = value;
     }
   }
-  // Environment overrides used by CI smoke runs.
+  // Environment overrides used by CI smoke runs (win over the CLI).
   if (const char* env = std::getenv("FTMC_BENCH_SETS")) {
-    config.sets_per_point = std::atoi(env);
+    const auto n = parse_integer("FTMC_BENCH_SETS", env);
+    if (!n) return Fail::failure(n.error());
+    if (*n < 1) return Fail::failure("FTMC_BENCH_SETS must be >= 1");
+    overrides.sets = static_cast<int>(*n);
   }
   if (const char* env = std::getenv("FTMC_BENCH_THREADS")) {
-    config.threads = std::atoi(env);
+    const auto n = parse_integer("FTMC_BENCH_THREADS", env);
+    if (!n) return Fail::failure(n.error());
+    overrides.threads = static_cast<int>(*n);
   }
-  if (config.sets_per_point <= 0) config.sets_per_point = 1;
+  return overrides;
+}
+
+Expected<Fig3Config> apply_cli_overrides(Fig3Config config, int argc,
+                                         char** argv) {
+  const auto parsed = parse_bench_overrides(argc, argv);
+  if (!parsed) return Expected<Fig3Config>::failure(parsed.error());
+  if (parsed->sets) config.sets_per_point = *parsed->sets;
+  if (parsed->seed) config.seed = *parsed->seed;
+  if (parsed->threads) config.threads = *parsed->threads;
+  if (parsed->progress && !config.progress) {
+    config.progress = obs::stderr_progress("fig3");
+  }
   return config;
+}
+
+int fig3_campaign_main(const char* bench_name,
+                       const char* default_spec_path, int argc,
+                       char** argv) {
+  BenchReport report(bench_name, argc, argv);
+  const auto parsed =
+      parse_bench_overrides(argc, argv, /*allow_campaign_flags=*/true);
+  if (!parsed) {
+    std::cerr << bench_name << ": " << parsed.error() << "\n";
+    return 2;
+  }
+  try {
+    campaign::CampaignSpec spec = campaign::load_spec_file(
+        parsed->spec ? *parsed->spec : default_spec_path);
+    if (parsed->sets) spec.sets_per_point = *parsed->sets;
+    if (parsed->seed) spec.seed = *parsed->seed;
+
+    campaign::RunnerOptions options;
+    options.threads = parsed->threads.value_or(0);  // benches: all threads
+    if (parsed->out) options.dir = *parsed->out;
+    if (parsed->progress) options.progress = obs::stderr_progress("fig3");
+
+    const campaign::CampaignResult result =
+        campaign::run_campaign(spec, options);
+    const std::vector<Fig3Point> points = fig3_points_from(result);
+    print_fig3(spec, points);
+
+    report.set_items(
+        static_cast<double>(points.size()) * spec.sets_per_point,
+        "task sets");
+    report.note_number("campaign_cells_run",
+                       static_cast<double>(result.cells_run));
+    report.note_number("campaign_cache_hits",
+                       static_cast<double>(result.cache_hits));
+    return 0;
+  } catch (const io::ParseError& e) {
+    std::cerr << bench_name << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << bench_name << ": " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace ftmc::bench

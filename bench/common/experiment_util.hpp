@@ -1,14 +1,19 @@
 /// \file experiment_util.hpp
 /// \brief Shared helpers for the reproduction benches: the Fig. 3
-///        acceptance-ratio experiment driver, per-binary telemetry
-///        (BENCH_<name>.json) and small printing utilities.
+///        acceptance-ratio experiment driver (now a thin veneer over
+///        ftmc::campaign), per-binary telemetry (BENCH_<name>.json) and
+///        small printing utilities.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "ftmc/campaign/runner.hpp"
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/common/expected.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/exec/stats.hpp"
 #include "ftmc/obs/progress.hpp"
@@ -21,7 +26,8 @@ namespace ftmc::bench {
 /// the working directory) with wall time, thread count, argv, optional
 /// throughput and domain notes, plus a snapshot of the global metrics
 /// registry — which the constructor enables, so analysis hot-path
-/// counters (mcs.*, core.*) are populated for every bench run.
+/// counters (mcs.*, core.*, campaign.*) are populated for every bench
+/// run.
 class BenchReport {
  public:
   BenchReport(std::string name, int argc, char** argv);
@@ -93,7 +99,19 @@ struct Fig3Point {
   double ratio_with = 0.0;     ///< FT-EDF-VD (killing or degradation)
 };
 
-/// Runs the experiment. For each random task set, the baseline accepts if
+/// The Fig3Config expressed as a single-scheduler campaign spec; the
+/// campaign runner is the one implementation of the sweep.
+[[nodiscard]] campaign::CampaignSpec fig3_campaign_spec(
+    const Fig3Config& config, std::string name = "fig3");
+
+/// Completed campaign cells as Fig. 3 points (expansion order ==
+/// the historical point order: failure_probs major, utilizations minor).
+[[nodiscard]] std::vector<Fig3Point> fig3_points_from(
+    const campaign::CampaignResult& result);
+
+/// Runs the experiment through ftmc::campaign (in memory — use the
+/// ftmc_campaign CLI or fig3_campaign_main's --out for persistent,
+/// resumable runs). For each random task set, the baseline accepts if
 /// the minimal re-execution profiles exist and worst-case EDF fits without
 /// any adaptation; the adaptive variant additionally tries FT-EDF-VD
 /// ("task killing or service degradation is only adopted if the system is
@@ -103,12 +121,42 @@ struct Fig3Point {
 /// Prints the experiment as aligned text plus a CSV block for plotting.
 void print_fig3(const Fig3Config& config,
                 const std::vector<Fig3Point>& points);
+/// Same, with the headline fields taken from a campaign spec.
+void print_fig3(const campaign::CampaignSpec& spec,
+                const std::vector<Fig3Point>& points);
 
-/// Parses "--sets N", "--seed S", "--threads T" and "--progress"
-/// overrides from argv (used to shrink bench runtime in smoke runs);
-/// returns the updated config. FTMC_BENCH_SETS / FTMC_BENCH_THREADS
-/// environment variables override for CI smoke runs.
-[[nodiscard]] Fig3Config apply_cli_overrides(Fig3Config config, int argc,
-                                             char** argv);
+/// The CLI flags shared by the sweep benches, parsed strictly.
+struct BenchOverrides {
+  std::optional<int> sets;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> threads;
+  bool progress = false;
+  std::optional<std::string> spec;  ///< --spec FILE (campaign benches)
+  std::optional<std::string> out;   ///< --out DIR (campaign benches)
+};
+
+/// Parses "--sets N", "--seed S", "--threads T", "--progress" and (when
+/// `allow_campaign_flags`) "--spec FILE" / "--out DIR". Strict: unknown
+/// flags, missing values and malformed numbers come back as an error —
+/// mains print it and exit non-zero instead of silently ignoring input.
+[[nodiscard]] Expected<BenchOverrides> parse_bench_overrides(
+    int argc, char** argv, bool allow_campaign_flags = false);
+
+/// Applies parse_bench_overrides plus the FTMC_BENCH_SETS /
+/// FTMC_BENCH_THREADS environment overrides (CI smoke runs; env wins
+/// over CLI) to a Fig3Config. Malformed input — CLI or environment —
+/// is an error, not a silent default.
+[[nodiscard]] Expected<Fig3Config> apply_cli_overrides(Fig3Config config,
+                                                       int argc,
+                                                       char** argv);
+
+/// Shared main() of the fig3a-d benches: loads the campaign spec at
+/// `default_spec_path` (overridable with --spec), applies CLI/env
+/// overrides, runs it through the campaign runner (persistently when
+/// --out DIR is given) and prints the Fig. 3 tables. Returns the process
+/// exit code (2 on bad input).
+[[nodiscard]] int fig3_campaign_main(const char* bench_name,
+                                     const char* default_spec_path,
+                                     int argc, char** argv);
 
 }  // namespace ftmc::bench

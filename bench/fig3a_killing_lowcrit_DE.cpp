@@ -2,20 +2,13 @@
 /// and without TASK KILLING when the LO tasks are criticality D/E (not
 /// safety-related). Expected shape: killing widens the schedulable region
 /// considerably; smaller f shifts curves right.
+///
+/// The sweep is declared in specs/fig3a.json and executed by the
+/// ftmc::campaign runner; pass --out DIR for a resumable, cached run.
 #include "common/experiment_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ftmc;
-  bench::BenchReport report("fig3a_killing_lowcrit_DE", argc, argv);
-  bench::Fig3Config config;
-  config.title = "Fig. 3a — task killing, HI=B, LO in {D,E}";
-  config.kind = mcs::AdaptationKind::kKilling;
-  config.mapping = {Dal::B, Dal::D};
-  config = bench::apply_cli_overrides(config, argc, argv);
-  const auto points = bench::run_fig3(config);
-  bench::print_fig3(config, points);
-  report.set_items(
-      static_cast<double>(points.size()) * config.sets_per_point,
-      "task sets");
-  return 0;
+  return ftmc::bench::fig3_campaign_main("fig3a_killing_lowcrit_DE",
+                                         FTMC_BENCH_SPEC_DIR "/fig3a.json",
+                                         argc, argv);
 }

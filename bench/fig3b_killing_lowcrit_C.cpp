@@ -3,20 +3,13 @@
 /// safety requirement pfh < 1e-5). Expected shape: killing rarely helps —
 /// the gap between the curves nearly vanishes, because killing directly
 /// violates the LO safety requirement.
+///
+/// The sweep is declared in specs/fig3b.json and executed by the
+/// ftmc::campaign runner; pass --out DIR for a resumable, cached run.
 #include "common/experiment_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ftmc;
-  bench::BenchReport report("fig3b_killing_lowcrit_C", argc, argv);
-  bench::Fig3Config config;
-  config.title = "Fig. 3b — task killing, HI=B, LO=C";
-  config.kind = mcs::AdaptationKind::kKilling;
-  config.mapping = {Dal::B, Dal::C};
-  config = bench::apply_cli_overrides(config, argc, argv);
-  const auto points = bench::run_fig3(config);
-  bench::print_fig3(config, points);
-  report.set_items(
-      static_cast<double>(points.size()) * config.sets_per_point,
-      "task sets");
-  return 0;
+  return ftmc::bench::fig3_campaign_main("fig3b_killing_lowcrit_C",
+                                         FTMC_BENCH_SPEC_DIR "/fig3b.json",
+                                         argc, argv);
 }

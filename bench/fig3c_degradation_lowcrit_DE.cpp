@@ -2,20 +2,13 @@
 /// and without SERVICE DEGRADATION (d_f = 6) when the LO tasks are
 /// criticality D/E. Expected shape: degradation improves schedulability
 /// similarly to killing in this safety-irrelevant setting.
+///
+/// The sweep is declared in specs/fig3c.json and executed by the
+/// ftmc::campaign runner; pass --out DIR for a resumable, cached run.
 #include "common/experiment_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ftmc;
-  bench::BenchReport report("fig3c_degradation_lowcrit_DE", argc, argv);
-  bench::Fig3Config config;
-  config.title = "Fig. 3c — service degradation, HI=B, LO in {D,E}";
-  config.kind = mcs::AdaptationKind::kDegradation;
-  config.mapping = {Dal::B, Dal::D};
-  config = bench::apply_cli_overrides(config, argc, argv);
-  const auto points = bench::run_fig3(config);
-  bench::print_fig3(config, points);
-  report.set_items(
-      static_cast<double>(points.size()) * config.sets_per_point,
-      "task sets");
-  return 0;
+  return ftmc::bench::fig3_campaign_main("fig3c_degradation_lowcrit_DE",
+                                         FTMC_BENCH_SPEC_DIR "/fig3c.json",
+                                         argc, argv);
 }

@@ -3,20 +3,13 @@
 /// criticality C. Expected shape: unlike killing (Fig. 3b), degradation
 /// still helps — it barely harms LO safety (Lemma 3.4), so the safety gate
 /// of FT-S passes where killing's does not.
+///
+/// The sweep is declared in specs/fig3d.json and executed by the
+/// ftmc::campaign runner; pass --out DIR for a resumable, cached run.
 #include "common/experiment_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ftmc;
-  bench::BenchReport report("fig3d_degradation_lowcrit_C", argc, argv);
-  bench::Fig3Config config;
-  config.title = "Fig. 3d — service degradation, HI=B, LO=C";
-  config.kind = mcs::AdaptationKind::kDegradation;
-  config.mapping = {Dal::B, Dal::C};
-  config = bench::apply_cli_overrides(config, argc, argv);
-  const auto points = bench::run_fig3(config);
-  bench::print_fig3(config, points);
-  report.set_items(
-      static_cast<double>(points.size()) * config.sets_per_point,
-      "task sets");
-  return 0;
+  return ftmc::bench::fig3_campaign_main("fig3d_degradation_lowcrit_C",
+                                         FTMC_BENCH_SPEC_DIR "/fig3d.json",
+                                         argc, argv);
 }

@@ -1,0 +1,264 @@
+/// \file ftmc_campaign_main.cpp
+/// \brief The `ftmc_campaign` CLI: run, resume, expand and print
+///        declarative experiment campaigns (see docs/campaigns.md).
+///
+/// Exit codes: 0 = campaign complete, 3 = stopped early (--max-cells),
+/// 2 = usage / input error, 1 = runtime failure.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftmc/campaign/journal.hpp"
+#include "ftmc/campaign/runner.hpp"
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/common/expected.hpp"
+#include "ftmc/exec/stats.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/obs/progress.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/obs/span.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+constexpr const char* kUsage = R"(usage: ftmc_campaign <command> [options]
+
+commands:
+  run    --spec FILE [--out DIR]    expand and run a campaign spec
+  resume DIR                        continue the campaign persisted in DIR
+  expand --spec FILE                list cells and cache hashes (dry run)
+  print  DIR                        render DIR/results.json as CSV
+
+options (run / resume):
+  --threads N     worker threads (1 = serial, 0 = all hardware threads)
+  --max-cells N   stop after N newly computed cells (crash drill)
+  --progress      live progress meter on stderr
+  --trace-out F   write a Chrome trace of the run to F
+  --stats         print per-phase run counters on completion
+
+`ftmc_campaign --resume DIR` is accepted as an alias for `resume DIR`.
+)";
+
+struct CliOptions {
+  std::string command;
+  std::string spec_path;
+  std::string dir;
+  int threads = 0;  // CLI default: all hardware threads
+  std::size_t max_cells = 0;
+  bool progress = false;
+  bool stats = false;
+  std::string trace_out;
+};
+
+[[nodiscard]] Expected<long long> parse_int(const std::string& flag,
+                                            const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    return Expected<long long>::failure("ftmc_campaign: " + flag +
+                                        " expects an integer, got \"" +
+                                        text + "\"");
+  }
+  return value;
+}
+
+[[nodiscard]] Expected<CliOptions> parse_cli(int argc, char** argv) {
+  using Fail = Expected<CliOptions>;
+  if (argc < 2) return Fail::failure(kUsage);
+  CliOptions opt;
+  int i = 1;
+  const std::string first = argv[i];
+  if (first == "--resume") {  // alias documented in the issue tracker
+    opt.command = "resume";
+    ++i;
+  } else if (first == "run" || first == "resume" || first == "expand" ||
+             first == "print") {
+    opt.command = first;
+    ++i;
+  } else if (first == "--help" || first == "-h") {
+    opt.command = "help";
+    return opt;
+  } else {
+    return Fail::failure("ftmc_campaign: unknown command \"" + first +
+                         "\"\n" + kUsage);
+  }
+
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> Expected<std::string> {
+      if (i + 1 >= argc) {
+        return Expected<std::string>::failure(
+            "ftmc_campaign: " + flag + " expects a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--spec") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.spec_path = *v;
+    } else if (flag == "--out") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.dir = *v;
+    } else if (flag == "--threads") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      auto n = parse_int(flag, *v);
+      if (!n) return Fail::failure(n.error());
+      opt.threads = static_cast<int>(*n);
+    } else if (flag == "--max-cells") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      auto n = parse_int(flag, *v);
+      if (!n || *n < 0) {
+        return Fail::failure("ftmc_campaign: --max-cells expects a "
+                             "non-negative integer");
+      }
+      opt.max_cells = static_cast<std::size_t>(*n);
+    } else if (flag == "--progress") {
+      opt.progress = true;
+    } else if (flag == "--stats") {
+      opt.stats = true;
+    } else if (flag == "--trace-out") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.trace_out = *v;
+    } else if (flag[0] == '-') {
+      return Fail::failure("ftmc_campaign: unknown flag \"" + flag +
+                           "\"\n" + kUsage);
+    } else if ((opt.command == "resume" || opt.command == "print") &&
+               opt.dir.empty()) {
+      opt.dir = flag;  // positional DIR
+    } else {
+      return Fail::failure("ftmc_campaign: unexpected argument \"" + flag +
+                           "\"");
+    }
+  }
+
+  if (opt.command == "run" || opt.command == "expand") {
+    if (opt.spec_path.empty()) {
+      return Fail::failure("ftmc_campaign: " + opt.command +
+                           " requires --spec FILE");
+    }
+  }
+  if ((opt.command == "resume" || opt.command == "print") &&
+      opt.dir.empty()) {
+    return Fail::failure("ftmc_campaign: " + opt.command +
+                         " requires a campaign DIR");
+  }
+  return opt;
+}
+
+void print_summary(const campaign::CampaignResult& result) {
+  std::cout << "campaign " << result.spec.name << ": "
+            << result.cells_total << " cells, " << result.cells_run
+            << " run, " << result.cache_hits << " cache hits"
+            << (result.complete ? "" : " (INCOMPLETE)") << "\n";
+  if (!result.results_path.empty()) {
+    std::cout << "results: " << result.results_path << "\n";
+  }
+  std::cout << "CSV: scheduler,f,U,accept_without,accept_with\n";
+  for (const campaign::CellOutcome& outcome : result.cells) {
+    if (!outcome.completed) continue;
+    std::cout << campaign::to_string(outcome.cell.scheduler) << ","
+              << outcome.cell.failure_prob << ","
+              << outcome.cell.utilization << ","
+              << outcome.ratio_without() << "," << outcome.ratio_with()
+              << "\n";
+  }
+}
+
+int cmd_run_or_resume(const CliOptions& opt) {
+  obs::Registry::global().enable();
+  campaign::RunnerOptions runner;
+  runner.threads = opt.threads;
+  runner.dir = opt.dir;
+  runner.max_cells = opt.max_cells;
+  if (opt.progress) runner.progress = obs::stderr_progress("campaign");
+  exec::RunStats stats;
+  if (opt.stats) runner.stats = &stats;
+  obs::SpanRecorder spans;
+  if (!opt.trace_out.empty()) runner.spans = &spans;
+
+  const campaign::CampaignResult result =
+      opt.command == "resume"
+          ? campaign::resume_campaign(opt.dir, runner)
+          : campaign::run_campaign(
+                campaign::load_spec_file(opt.spec_path), runner);
+
+  if (!opt.trace_out.empty()) {
+    std::ofstream trace(opt.trace_out);
+    spans.write_chrome_trace(trace);
+    std::cerr << "trace: " << opt.trace_out << "\n";
+  }
+  if (opt.stats) std::cerr << stats.summary();
+  print_summary(result);
+  return result.complete ? 0 : 3;
+}
+
+int cmd_expand(const CliOptions& opt) {
+  const campaign::CampaignSpec spec =
+      campaign::load_spec_file(opt.spec_path);
+  const std::vector<campaign::CellSpec> cells =
+      campaign::expand_cells(spec);
+  std::cout << "campaign " << spec.name << ": " << cells.size()
+            << " cells\n";
+  std::cout << "CSV: index,hash,scheduler,f,U,seed\n";
+  for (const campaign::CellSpec& cell : cells) {
+    std::cout << cell.index << "," << campaign::cell_hash(cell) << ","
+              << campaign::to_string(cell.scheduler) << ","
+              << cell.failure_prob << "," << cell.utilization << ","
+              << cell.seed << "\n";
+  }
+  return 0;
+}
+
+int cmd_print(const CliOptions& opt) {
+  // Dogfoods the ftmc::io JSON parser on the runner's own output.
+  const io::json::Value doc = io::json::parse(
+      campaign::read_file(opt.dir + "/results.json"));
+  std::cout << "campaign "
+            << doc.at("spec").at("name").as_string() << ", "
+            << doc.at("cells_total").as_uint64() << " cells\n";
+  std::cout << "CSV: scheduler,f,U,accept_without,accept_with\n";
+  // Default ostream precision: matches the table the runner prints
+  // (0.1, not the 17-digit form stored in results.json).
+  for (const io::json::Value& cell : doc.at("cells").items()) {
+    std::cout << cell.at("scheduler").as_string() << ","
+              << cell.at("failure_prob").as_number() << ","
+              << cell.at("utilization").as_number() << ","
+              << cell.at("ratio_without").as_number() << ","
+              << cell.at("ratio_with").as_number() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Expected<CliOptions> parsed = parse_cli(argc, argv);
+  if (!parsed) {
+    std::cerr << parsed.error() << "\n";
+    return 2;
+  }
+  const CliOptions& opt = *parsed;
+  if (opt.command == "help") {
+    std::cout << kUsage;
+    return 0;
+  }
+  try {
+    if (opt.command == "expand") return cmd_expand(opt);
+    if (opt.command == "print") return cmd_print(opt);
+    return cmd_run_or_resume(opt);
+  } catch (const io::ParseError& e) {
+    std::cerr << "ftmc_campaign: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ftmc_campaign: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+/// \file runner.hpp
+/// \brief The campaign runner: expands a spec into cells, shards them
+///        across the ftmc::exec thread pool, journals every completed
+///        cell, and merges results deterministically.
+///
+/// Guarantees (tested in tests/campaign/runner_test.cpp):
+///  - *Determinism*: cell results are a pure function of the cell spec
+///    (seeds derive from the spec grid, never from thread count or
+///    execution order), so results.json is byte-identical across thread
+///    counts and across interrupted-then-resumed runs.
+///  - *Crash safety*: completed cells survive any crash via the
+///    append-only journal (journal.hpp); resume skips them.
+///  - *Caching*: cells are keyed by the FNV-1a hash of their canonical
+///    JSON. Editing one axis of a spec re-runs only cells whose
+///    canonical form changed; everything else is a cache hit replayed
+///    from the journal.
+///
+/// Directory layout of a persistent run (`RunnerOptions::dir`):
+///   <dir>/spec.json      canonical spec echo (atomic write)
+///   <dir>/journal.jsonl  append-only completed-cell records
+///   <dir>/results.json   deterministic merged results (atomic write,
+///                        only written once every cell has a result)
+///
+/// Observability: the runner feeds obs::Registry::global() —
+/// campaign.cells_total / campaign.cells_run / campaign.cache_hits /
+/// campaign.journal_bad_lines — records one span per cell when the
+/// parallel region carries a SpanRecorder, and reports progress over the
+/// cells it actually runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/exec/stats.hpp"
+#include "ftmc/obs/progress.hpp"
+#include "ftmc/obs/span.hpp"
+
+namespace ftmc::campaign {
+
+/// Knobs of one runner invocation.
+struct RunnerOptions {
+  /// Worker threads (exec convention: 1 = serial, <= 0 = one per
+  /// hardware thread). Never affects results.
+  int threads = 1;
+  /// Campaign directory; empty runs fully in memory (no journal, no
+  /// cache, nothing written) — the mode the fig3 benches use by default.
+  std::string dir;
+  /// Stop (cleanly) after this many newly computed cells; 0 = no limit.
+  /// The CI crash drill uses this to interrupt a run deterministically —
+  /// the journal then looks exactly like a crash at a cell boundary.
+  std::size_t max_cells = 0;
+  obs::ProgressFn progress;        ///< over newly computed cells
+  exec::RunStats* stats = nullptr; ///< phase "campaign"
+  obs::SpanRecorder* spans = nullptr;  ///< one span per cell
+};
+
+/// Outcome counts of one cell (numerators of the acceptance ratios; the
+/// denominator is the cell's sets_per_point).
+struct CellCounts {
+  int accept_without = 0;
+  int accept_with = 0;
+};
+
+/// One merged cell outcome.
+struct CellOutcome {
+  CellSpec cell;
+  std::string hash;
+  bool completed = false;   ///< false only after a max_cells stop
+  bool from_cache = false;  ///< replayed from the journal, not computed
+  CellCounts counts;
+
+  [[nodiscard]] double ratio_without() const {
+    return static_cast<double>(counts.accept_without) /
+           cell.sets_per_point;
+  }
+  [[nodiscard]] double ratio_with() const {
+    return static_cast<double>(counts.accept_with) / cell.sets_per_point;
+  }
+};
+
+/// A whole campaign's outcome, cells in expansion order.
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<CellOutcome> cells;
+  std::size_t cells_total = 0;
+  std::size_t cells_run = 0;    ///< computed this invocation
+  std::size_t cache_hits = 0;   ///< replayed from the journal
+  bool complete = false;        ///< every cell has a result
+  std::string results_path;     ///< <dir>/results.json, empty in-memory
+};
+
+/// Evaluates one cell: generates sets_per_point task sets from the
+/// cell's seed and counts acceptance with and without adaptation
+/// (Appendix C protocol: adaptation "is only adopted if the system is
+/// not feasible otherwise"). For the EDF-VD schedulers this is
+/// bit-identical to the historical bench/common Fig. 3 point driver.
+[[nodiscard]] CellCounts run_cell(const CellSpec& cell);
+
+/// Runs (or, with a journal present in `options.dir`, continues) a
+/// campaign. Throws ftmc::io::ParseError on invalid specs and
+/// std::runtime_error on filesystem failures.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const RunnerOptions& options);
+
+/// Resumes the campaign persisted in `dir` (reads <dir>/spec.json; the
+/// dir from `options` is ignored and replaced by `dir`).
+[[nodiscard]] CampaignResult resume_campaign(const std::string& dir,
+                                             RunnerOptions options);
+
+/// Deterministic merged-results document: spec echo plus one entry per
+/// cell. Contains no timestamps, hostnames or timings — equal inputs
+/// give equal bytes (the resume bit-identity contract).
+[[nodiscard]] std::string results_to_json(const CampaignResult& result);
+
+}  // namespace ftmc::campaign

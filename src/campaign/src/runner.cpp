@@ -1,0 +1,215 @@
+#include "ftmc/campaign/runner.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "ftmc/campaign/journal.hpp"
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/mcs/fixed_priority.hpp"
+#include "ftmc/mcs/mc_dbf.hpp"
+#include "ftmc/mcs/opa.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::campaign {
+
+namespace {
+
+/// FT-S technique instance for a scheduler. Null selects the built-in
+/// EDF-VD family (Algorithm 2 / Eq. 12), matching the fig3 benches.
+[[nodiscard]] mcs::SchedulabilityTestPtr make_test(Scheduler scheduler) {
+  switch (scheduler) {
+    case Scheduler::kEdfVdKilling:
+    case Scheduler::kEdfVdDegradation: return nullptr;
+    case Scheduler::kAmcRtb: return std::make_shared<mcs::AmcRtbTest>();
+    case Scheduler::kAmcRtbOpa:
+      return std::make_shared<mcs::AmcRtbOpaTest>();
+    case Scheduler::kMcDbf: return std::make_shared<mcs::McDbfTest>();
+  }
+  return nullptr;
+}
+
+[[nodiscard]] taskgen::GeneratorParams generator_params(
+    const CellSpec& cell) {
+  taskgen::GeneratorParams params;
+  params.u_min = cell.generator.u_min;
+  params.u_max = cell.generator.u_max;
+  params.period_min = cell.generator.period_min_ms;
+  params.period_max = cell.generator.period_max_ms;
+  params.period_distribution = cell.generator.period_distribution;
+  params.p_hi = cell.generator.p_hi;
+  params.target_utilization = cell.utilization;
+  params.failure_prob = cell.failure_prob;
+  params.mapping = cell.mapping;
+  return params;
+}
+
+struct CampaignMetrics {
+  obs::Counter cells_total;
+  obs::Counter cells_run;
+  obs::Counter cache_hits;
+  obs::Counter journal_bad_lines;
+
+  static CampaignMetrics global() {
+    obs::Registry& reg = obs::Registry::global();
+    return {reg.counter("campaign.cells_total"),
+            reg.counter("campaign.cells_run"),
+            reg.counter("campaign.cache_hits"),
+            reg.counter("campaign.journal_bad_lines")};
+  }
+};
+
+}  // namespace
+
+CellCounts run_cell(const CellSpec& cell) {
+  const taskgen::GeneratorParams params = generator_params(cell);
+  // The stream is a pure function of the cell spec (the seed was derived
+  // from the spec grid); nothing here may depend on threads or order.
+  taskgen::Rng rng(cell.seed);
+
+  core::FtsConfig fts;
+  fts.adaptation.kind = adaptation_of(cell.scheduler);
+  fts.adaptation.degradation_factor = cell.degradation_factor;
+  fts.adaptation.os_hours = cell.os_hours;
+  fts.prefer_no_adaptation = true;
+  fts.test = make_test(cell.scheduler);
+
+  CellCounts counts;
+  for (int i = 0; i < cell.sets_per_point; ++i) {
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    const core::FtsResult r = core::ft_schedule(ts, fts);
+    if (r.feasible_without_adaptation) ++counts.accept_without;
+    if (r.success) ++counts.accept_with;
+  }
+  return counts;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerOptions& options) {
+  spec.validate();
+  CampaignMetrics metrics = CampaignMetrics::global();
+
+  CampaignResult result;
+  result.spec = spec;
+
+  const std::vector<CellSpec> cells = expand_cells(spec);
+  result.cells_total = cells.size();
+  metrics.cells_total.inc(cells.size());
+
+  // Persistent mode: materialize the directory, echo the canonical spec
+  // atomically, and replay the journal into the result cache.
+  std::optional<Journal> journal;
+  std::unordered_map<std::string, CellCounts> cache;
+  if (!options.dir.empty()) {
+    std::filesystem::create_directories(options.dir);
+    write_file_atomic(options.dir + "/spec.json",
+                      spec_to_json(spec) + "\n");
+    const std::string journal_path = options.dir + "/journal.jsonl";
+    Journal::LoadResult replay = Journal::load(journal_path);
+    metrics.journal_bad_lines.inc(replay.bad_lines);
+    for (CellRecord& record : replay.records) {
+      cache[record.hash] =
+          CellCounts{record.accept_without, record.accept_with};
+    }
+    journal.emplace(journal_path);
+  }
+
+  // Split into cached and pending cells. Outcomes live in expansion
+  // order; pending cells are computed into their slots by index.
+  result.cells.resize(cells.size());
+  std::vector<std::size_t> pending;
+  for (const CellSpec& cell : cells) {
+    CellOutcome& outcome = result.cells[cell.index];
+    outcome.cell = cell;
+    outcome.hash = cell_hash(cell);
+    const auto hit = cache.find(outcome.hash);
+    if (hit != cache.end()) {
+      outcome.counts = hit->second;
+      outcome.completed = true;
+      outcome.from_cache = true;
+      ++result.cache_hits;
+    } else {
+      pending.push_back(cell.index);
+    }
+  }
+  metrics.cache_hits.inc(result.cache_hits);
+
+  // A max_cells stop simulates a crash at a cell boundary: the dropped
+  // tail simply never runs, so the journal stays consistent.
+  std::size_t to_run = pending.size();
+  if (options.max_cells > 0 && options.max_cells < to_run) {
+    to_run = options.max_cells;
+  }
+
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.chunk_size = 1;  // one cell = sets_per_point schedulings
+  par.phase = "campaign";
+  par.stats = options.stats;
+  par.spans = options.spans;
+  par.progress = options.progress;
+  exec::parallel_for(to_run, par, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      CellOutcome& outcome = result.cells[pending[i]];
+      {
+        obs::ScopedSpan span("campaign.cell");
+        outcome.counts = run_cell(outcome.cell);
+      }
+      outcome.completed = true;
+      metrics.cells_run.inc();
+      if (journal) {
+        journal->append(CellRecord{outcome.hash,
+                                   outcome.counts.accept_without,
+                                   outcome.counts.accept_with});
+      }
+    }
+  });
+  result.cells_run = to_run;
+  result.complete = (to_run == pending.size());
+
+  if (result.complete && !options.dir.empty()) {
+    result.results_path = options.dir + "/results.json";
+    write_file_atomic(result.results_path, results_to_json(result) + "\n");
+  }
+  return result;
+}
+
+CampaignResult resume_campaign(const std::string& dir,
+                               RunnerOptions options) {
+  const CampaignSpec spec = load_spec_file(dir + "/spec.json");
+  options.dir = dir;
+  return run_campaign(spec, options);
+}
+
+std::string results_to_json(const CampaignResult& result) {
+  std::vector<std::string> cells;
+  cells.reserve(result.cells.size());
+  for (const CellOutcome& outcome : result.cells) {
+    if (!outcome.completed) continue;
+    cells.push_back(
+        io::json::Object{}
+            .add_string("hash", outcome.hash)
+            .add_string("scheduler", to_string(outcome.cell.scheduler))
+            .add_number("failure_prob", outcome.cell.failure_prob)
+            .add_number("utilization", outcome.cell.utilization)
+            .add_string("seed", std::to_string(outcome.cell.seed))
+            .add_int("accept_without", outcome.counts.accept_without)
+            .add_int("accept_with", outcome.counts.accept_with)
+            .add_number("ratio_without", outcome.ratio_without())
+            .add_number("ratio_with", outcome.ratio_with())
+            .str());
+  }
+  // No timestamps, hostnames or wall times: byte-identity across
+  // uninterrupted, resumed and re-cached runs is a tested contract.
+  return io::json::Object{}
+      .add_raw("spec", spec_to_json(result.spec))
+      .add_int("cells_total", static_cast<long long>(result.cells_total))
+      .add_raw("cells", io::json::array(cells))
+      .str();
+}
+
+}  // namespace ftmc::campaign

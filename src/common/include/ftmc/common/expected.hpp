@@ -1,0 +1,48 @@
+/// \file expected.hpp
+/// \brief Minimal expected-or-error return type (std::expected arrives
+///        with C++23; this repo targets C++20).
+///
+/// Used at process boundaries — CLI flag parsing, spec loading — where a
+/// malformed input is an *environmental* failure the caller must turn
+/// into a non-zero exit and a readable message, not an exception
+/// crossing main().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ftmc {
+
+/// Either a value or an error message. Contract: exactly one of the two
+/// is meaningful; ok() selects.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  [[nodiscard]] static Expected failure(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The error message; empty when ok().
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] T& operator*() { return *value_; }
+  [[nodiscard]] const T& operator*() const { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace ftmc

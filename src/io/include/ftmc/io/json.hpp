@@ -1,25 +1,38 @@
 /// \file json.hpp
-/// \brief Minimal JSON emission for analysis results.
+/// \brief Minimal JSON emission and parsing for analysis results.
 ///
 /// FTMC results feed dashboards, plotting scripts and certification
 /// tooling; this module renders the main result types as JSON without
-/// pulling in a JSON library. Output only — the text task-set format
-/// (taskset_io.hpp) remains the input path.
+/// pulling in a JSON library. Since the campaign subsystem landed the
+/// module also *reads* JSON (campaign specs, journals, result files)
+/// through a small recursive-descent parser; the text task-set format
+/// (taskset_io.hpp) remains the input path for task sets.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/io/parse_error.hpp"
 
 namespace ftmc::io::json {
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string escape(std::string_view text);
 
-/// Renders a double as a JSON number; infinities map to the strings
-/// "inf"/"-inf" (JSON has no literal for them) and NaN to null.
+/// Renders a double as a JSON number.
+///
+/// Round-trip contract (relied on by campaign result files): every
+/// double maps to a JSON value that `parse` + `Value::as_number` map
+/// back to the original —
+///  - finite values print with 17 significant digits (exact for IEEE
+///    doubles),
+///  - infinities map to the *strings* "inf"/"-inf" (JSON has no
+///    literal for them); as_number accepts those strings back,
+///  - NaN maps to null; as_number maps null back to a quiet NaN.
 [[nodiscard]] std::string number(double value);
 
 /// Tiny order-preserving object builder. Values passed to add_raw must
@@ -40,6 +53,56 @@ class Object {
 
 /// Joins already-rendered JSON values into an array.
 [[nodiscard]] std::string array(const std::vector<std::string>& values);
+
+/// A parsed JSON value. Objects preserve key order (matching the
+/// order-preserving Object builder); duplicate keys are rejected at
+/// parse time. Accessors throw ftmc::io::ParseError on kind mismatch so
+/// spec-loading code reads as straight-line field extraction.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept {
+    return kind_ == Kind::kNull;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  /// Numeric view of the value. Accepts, per the `number` round-trip
+  /// contract: JSON numbers, the strings "inf"/"-inf" (± infinity) and
+  /// null (quiet NaN). Anything else throws.
+  [[nodiscard]] double as_number() const;
+  /// as_number, checked to be an exact non-negative integer <= 2^53
+  /// (seeds, counts). Also accepts a string of decimal digits, so full
+  /// 64-bit seeds survive the double-precision bottleneck.
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;  // arrays
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& fields()
+      const;  // objects
+
+  /// Object member lookup: nullptr when absent (optional fields).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Object member lookup: throws naming the key when absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Parses one JSON document (recursive-descent, RFC 8259 subset: no
+/// \uXXXX surrogate pairs beyond the BMP). Trailing whitespace is
+/// allowed, trailing garbage is not. Throws ftmc::io::ParseError with a
+/// byte offset on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
 
 }  // namespace ftmc::io::json
 

@@ -1,0 +1,21 @@
+/// \file parse_error.hpp
+/// \brief The exception type shared by all ftmc::io parsers (task-set
+///        text, JSON). Environmental/input failure, not a contract
+///        violation — callers are expected to catch it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftmc::io {
+
+/// Thrown on malformed input text (task-set format, JSON, campaign
+/// specs). The message names the offending construct and, where the
+/// parser tracks it, the line or byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+}  // namespace ftmc::io

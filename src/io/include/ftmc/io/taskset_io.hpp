@@ -15,15 +15,9 @@
 #include <string>
 
 #include "ftmc/core/ft_task.hpp"
+#include "ftmc/io/parse_error.hpp"
 
 namespace ftmc::io {
-
-/// Thrown on malformed task-set text.
-class ParseError : public std::runtime_error {
- public:
-  explicit ParseError(const std::string& what_arg)
-      : std::runtime_error(what_arg) {}
-};
 
 /// Parses the text format described above.
 [[nodiscard]] core::FtTaskSet parse_task_set(std::istream& in);

@@ -1,7 +1,10 @@
 #include "ftmc/io/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace ftmc::io::json {
@@ -90,6 +93,335 @@ std::string array(const std::vector<std::string>& values) {
   out += "]";
   return out;
 }
+
+namespace {
+
+[[nodiscard]] std::string_view kind_name(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_error(std::string_view wanted, Value::Kind got) {
+  throw ParseError("json: expected " + std::string(wanted) + ", got " +
+                   std::string(kind_name(got)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  switch (kind_) {
+    case Kind::kNumber: return number_;
+    case Kind::kNull: return std::nan("");  // number() maps NaN to null
+    case Kind::kString:
+      // number() maps infinities to these strings (see json.hpp).
+      if (string_ == "inf") return std::numeric_limits<double>::infinity();
+      if (string_ == "-inf") {
+        return -std::numeric_limits<double>::infinity();
+      }
+      throw ParseError("json: string \"" + string_ + "\" is not a number");
+    default: kind_error("number", kind_);
+  }
+}
+
+std::uint64_t Value::as_uint64() const {
+  if (kind_ == Kind::kString) {
+    if (string_.empty()) throw ParseError("json: empty string as uint64");
+    std::uint64_t out = 0;
+    for (const char c : string_) {
+      if (c < '0' || c > '9') {
+        throw ParseError("json: string \"" + string_ +
+                         "\" is not a decimal uint64");
+      }
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        throw ParseError("json: uint64 overflow in \"" + string_ + "\"");
+      }
+      out = out * 10 + digit;
+    }
+    return out;
+  }
+  if (kind_ != Kind::kNumber) kind_error("uint64", kind_);
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (!(number_ >= 0.0) || number_ > kMaxExact ||
+      number_ != std::floor(number_)) {
+    throw ParseError("json: " + number(number_) +
+                     " is not an exact non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number_);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::fields() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return fields_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (const auto& [name, value] : fields_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* found = find(key);
+  if (found == nullptr) {
+    throw ParseError("json: missing key \"" + std::string(key) + "\"");
+  }
+  return *found;
+}
+
+/// Recursive-descent parser over a string_view. Depth-limited so a
+/// hostile "[[[[..." input fails with ParseError instead of a stack
+/// overflow.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Value run() {
+    Value out = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("json: " + message + " at offset " +
+                     std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  [[nodiscard]] Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  [[nodiscard]] static Value make_bool(bool b) {
+    Value v;
+    v.kind_ = Value::Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  [[nodiscard]] Value parse_object(int depth) {
+    expect('{');
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const auto& [existing, ignored] : v.fields_) {
+        if (existing == key) fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':');
+      v.fields_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  [[nodiscard]] Value parse_array(int depth) {
+    expect('[');
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    if (code >= 0xd800 && code <= 0xdfff) {
+      fail("surrogate \\u escapes are not supported");
+    }
+    // UTF-8 encode the BMP code point.
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      pos_ = start;
+      fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number \"" + token + "\"");
+    }
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value parse(std::string_view text) { return Parser(text).run(); }
 
 }  // namespace ftmc::io::json
 

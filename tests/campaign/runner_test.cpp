@@ -1,0 +1,243 @@
+#include "ftmc/campaign/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ftmc/campaign/journal.hpp"
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/exec/seed.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small grid so the full campaign runs in well under a second.
+[[nodiscard]] CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "runner_test";
+  spec.title = "runner test";
+  spec.schedulers = {Scheduler::kEdfVdKilling};
+  spec.failure_probs = {1e-3, 1e-5};
+  spec.utilizations = {0.3, 0.5, 0.7};
+  spec.sets_per_point = 30;
+  spec.seed = 20140601;
+  return spec;
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("ftmc_runner_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir(const char* leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+/// Inline re-statement of the historical bench/common Fig. 3 point
+/// driver (pre-campaign). run_cell must reproduce it bit for bit — this
+/// is the acceptance criterion that fig3a-d numbers are unchanged.
+[[nodiscard]] CellCounts reference_fig3_point(const CampaignSpec& spec,
+                                              std::size_t point_index,
+                                              double failure_prob,
+                                              double utilization) {
+  taskgen::GeneratorParams params;
+  params.u_min = spec.generator.u_min;
+  params.u_max = spec.generator.u_max;
+  params.period_min = spec.generator.period_min_ms;
+  params.period_max = spec.generator.period_max_ms;
+  params.period_distribution = spec.generator.period_distribution;
+  params.p_hi = spec.generator.p_hi;
+  params.target_utilization = utilization;
+  params.failure_prob = failure_prob;
+  params.mapping = spec.mapping;
+  taskgen::Rng rng(exec::derive_seed(spec.seed, point_index));
+
+  core::FtsConfig fts;
+  fts.adaptation.kind = adaptation_of(spec.schedulers[0]);
+  fts.adaptation.degradation_factor = spec.degradation_factor;
+  fts.adaptation.os_hours = spec.os_hours;
+  fts.prefer_no_adaptation = true;
+
+  CellCounts counts;
+  for (int i = 0; i < spec.sets_per_point; ++i) {
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    const core::FtsResult r = core::ft_schedule(ts, fts);
+    if (r.feasible_without_adaptation) ++counts.accept_without;
+    if (r.success) ++counts.accept_with;
+  }
+  return counts;
+}
+
+TEST_F(RunnerTest, BitIdenticalToHistoricalFig3Driver) {
+  const CampaignSpec spec = small_spec();
+  const std::size_t n_u = spec.utilizations.size();
+
+  RunnerOptions options;
+  options.threads = 1;
+  const CampaignResult result = run_campaign(spec, options);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.cells.size(),
+            spec.failure_probs.size() * n_u);
+
+  for (std::size_t fi = 0; fi < spec.failure_probs.size(); ++fi) {
+    for (std::size_t ui = 0; ui < n_u; ++ui) {
+      const std::size_t point = fi * n_u + ui;
+      const CellCounts expected = reference_fig3_point(
+          spec, point, spec.failure_probs[fi], spec.utilizations[ui]);
+      const CellOutcome& outcome = result.cells[point];
+      EXPECT_EQ(outcome.counts.accept_without, expected.accept_without)
+          << "point " << point;
+      EXPECT_EQ(outcome.counts.accept_with, expected.accept_with)
+          << "point " << point;
+    }
+  }
+}
+
+TEST_F(RunnerTest, ResultsAreThreadCountInvariant) {
+  const CampaignSpec spec = small_spec();
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+  EXPECT_EQ(results_to_json(a), results_to_json(b));
+}
+
+TEST_F(RunnerTest, InterruptedThenResumedRunIsByteIdentical) {
+  const CampaignSpec spec = small_spec();
+
+  // Crash drill: stop after 2 newly computed cells (journal then looks
+  // exactly like a crash at a cell boundary), then resume.
+  RunnerOptions interrupted;
+  interrupted.threads = 1;
+  interrupted.dir = dir("interrupted");
+  interrupted.max_cells = 2;
+  const CampaignResult partial = run_campaign(spec, interrupted);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.cells_run, 2u);
+  EXPECT_FALSE(fs::exists(dir("interrupted") + std::string("/results.json")))
+      << "merged results must not exist until every cell has a result";
+
+  RunnerOptions resume;
+  resume.threads = 2;  // resuming with different parallelism is fine
+  const CampaignResult resumed =
+      resume_campaign(interrupted.dir, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.cache_hits, 2u);
+  EXPECT_EQ(resumed.cells_run, resumed.cells_total - 2);
+
+  // Uninterrupted control run in a second directory.
+  RunnerOptions fresh;
+  fresh.threads = 1;
+  fresh.dir = dir("fresh");
+  const CampaignResult control = run_campaign(spec, fresh);
+  ASSERT_TRUE(control.complete);
+
+  EXPECT_EQ(read_file(resumed.results_path),
+            read_file(control.results_path))
+      << "resumed results.json must be byte-identical to an "
+         "uninterrupted run";
+}
+
+TEST_F(RunnerTest, CacheHitsSkipRecomputationObservedViaMetrics) {
+  const CampaignSpec spec = small_spec();
+  obs::Registry& registry = obs::Registry::global();
+  const bool was_enabled = registry.is_enabled();
+  registry.enable(true);
+  const obs::Counter cells_run = registry.counter("campaign.cells_run");
+  const obs::Counter cache_hits = registry.counter("campaign.cache_hits");
+
+  RunnerOptions options;
+  options.threads = 1;
+  options.dir = dir("cache");
+
+  const std::uint64_t run0 = cells_run.value();
+  const std::uint64_t hit0 = cache_hits.value();
+  const CampaignResult first = run_campaign(spec, options);
+  ASSERT_TRUE(first.complete);
+  EXPECT_EQ(cells_run.value() - run0, first.cells_total);
+  EXPECT_EQ(cache_hits.value() - hit0, 0u);
+
+  // Second run over the same directory: everything replays from the
+  // journal, nothing is recomputed.
+  const CampaignResult second = run_campaign(spec, options);
+  ASSERT_TRUE(second.complete);
+  EXPECT_EQ(second.cells_run, 0u);
+  EXPECT_EQ(second.cache_hits, second.cells_total);
+  EXPECT_EQ(cells_run.value() - run0, first.cells_total)
+      << "cache hits must not recompute cells";
+  EXPECT_EQ(cache_hits.value() - hit0, second.cells_total);
+  for (const CellOutcome& outcome : second.cells) {
+    EXPECT_TRUE(outcome.from_cache);
+  }
+  EXPECT_EQ(results_to_json(first), results_to_json(second));
+
+  registry.enable(was_enabled);
+}
+
+TEST_F(RunnerTest, EditedAxisRerunsOnlyChangedCells) {
+  CampaignSpec spec = small_spec();
+  RunnerOptions options;
+  options.threads = 1;
+  options.dir = dir("edit");
+
+  const CampaignResult before = run_campaign(spec, options);
+  ASSERT_TRUE(before.complete);
+
+  // Append one failure probability: every existing (f, U) pair keeps
+  // its grid index (f is the major axis), so the old grid is served
+  // from the cache and only the new row is computed.
+  spec.failure_probs.push_back(1e-4);
+  const CampaignResult after = run_campaign(spec, options);
+  ASSERT_TRUE(after.complete);
+  EXPECT_EQ(after.cache_hits, before.cells_total);
+  EXPECT_EQ(after.cells_run, spec.utilizations.size());
+
+  // Appending a *utilization* instead shifts the grid indices — and
+  // therefore the derived seeds — of every later row (the historical
+  // fig3 derivation is index-based). Those cells genuinely change, so
+  // the cache correctly re-runs them: only the first failure-prob row,
+  // whose indices are unchanged, hits.
+  CampaignSpec widened = small_spec();
+  widened.utilizations.push_back(0.9);
+  const CampaignResult shifted = run_campaign(widened, options);
+  ASSERT_TRUE(shifted.complete);
+  EXPECT_EQ(shifted.cache_hits, small_spec().utilizations.size());
+}
+
+TEST_F(RunnerTest, InMemoryRunWritesNothing) {
+  const CampaignSpec spec = small_spec();
+  RunnerOptions options;
+  options.threads = 1;  // no dir
+  const CampaignResult result = run_campaign(spec, options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.results_path.empty());
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(RunnerTest, RejectsInvalidSpec) {
+  CampaignSpec spec = small_spec();
+  spec.utilizations.clear();
+  RunnerOptions options;
+  EXPECT_THROW((void)run_campaign(spec, options), io::ParseError);
+}
+
+}  // namespace
+}  // namespace ftmc::campaign

@@ -1,0 +1,210 @@
+#include "ftmc/campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/exec/seed.hpp"
+#include "ftmc/io/parse_error.hpp"
+
+namespace ftmc::campaign {
+namespace {
+
+// A minimal but complete spec text used as the base of most tests.
+constexpr const char* kMinimalSpec = R"({
+  "name": "smoke",
+  "schedulers": ["edf_vd_killing", "edf_vd_degradation"],
+  "failure_probs": [1e-3, 1e-5],
+  "utilizations": [0.2, 0.5, 0.8]
+})";
+
+TEST(CampaignSpecParse, MinimalSpecGetsPaperDefaults) {
+  const CampaignSpec spec = parse_spec_text(kMinimalSpec);
+  EXPECT_EQ(spec.name, "smoke");
+  EXPECT_EQ(spec.title, "smoke");  // defaults to name
+  ASSERT_EQ(spec.schedulers.size(), 2u);
+  EXPECT_EQ(spec.schedulers[0], Scheduler::kEdfVdKilling);
+  EXPECT_EQ(spec.schedulers[1], Scheduler::kEdfVdDegradation);
+  EXPECT_EQ(spec.mapping.hi, Dal::B);
+  EXPECT_EQ(spec.mapping.lo, Dal::D);
+  EXPECT_DOUBLE_EQ(spec.degradation_factor, 6.0);
+  EXPECT_DOUBLE_EQ(spec.os_hours, 1.0);
+  EXPECT_EQ(spec.sets_per_point, 500);
+  EXPECT_EQ(spec.seed, 20140601u);
+  EXPECT_DOUBLE_EQ(spec.generator.u_min, 0.01);
+  EXPECT_DOUBLE_EQ(spec.generator.u_max, 0.2);
+  EXPECT_DOUBLE_EQ(spec.generator.period_min_ms, 200.0);
+  EXPECT_DOUBLE_EQ(spec.generator.period_max_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(spec.generator.p_hi, 0.2);
+}
+
+TEST(CampaignSpecParse, RejectsUnknownTopLevelKey) {
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [1e-5], "utilizations": [0.5],
+    "sets_per_pont": 10
+  })"),
+               io::ParseError);  // typo'd key fails loudly
+}
+
+TEST(CampaignSpecParse, RejectsUnknownGeneratorKey) {
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [1e-5], "utilizations": [0.5],
+    "generator": {"umin": 0.01}
+  })"),
+               io::ParseError);
+}
+
+TEST(CampaignSpecParse, RejectsUnknownScheduler) {
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf"],
+    "failure_probs": [1e-5], "utilizations": [0.5]
+  })"),
+               io::ParseError);
+}
+
+TEST(CampaignSpecParse, RejectsInvalidAxes) {
+  // Empty grid axes.
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [], "utilizations": [0.5]
+  })"),
+               io::ParseError);
+  // Probability outside (0, 1).
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [1.5], "utilizations": [0.5]
+  })"),
+               io::ParseError);
+  // Bad name (used in file names).
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "a/b", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [1e-5], "utilizations": [0.5]
+  })"),
+               io::ParseError);
+  // sets_per_point must be >= 1.
+  EXPECT_THROW(parse_spec_text(R"({
+    "name": "x", "schedulers": ["edf_vd_killing"],
+    "failure_probs": [1e-5], "utilizations": [0.5],
+    "sets_per_point": 0
+  })"),
+               io::ParseError);
+}
+
+TEST(CampaignSpecParse, SchedulerNamesRoundTrip) {
+  for (const Scheduler s :
+       {Scheduler::kEdfVdKilling, Scheduler::kEdfVdDegradation,
+        Scheduler::kAmcRtb, Scheduler::kAmcRtbOpa, Scheduler::kMcDbf}) {
+    EXPECT_EQ(parse_scheduler(to_string(s)), s);
+  }
+  EXPECT_EQ(parse_scheduler("nope"), std::nullopt);
+}
+
+TEST(CampaignSpecJson, CanonicalEmissionRoundTrips) {
+  CampaignSpec spec = parse_spec_text(kMinimalSpec);
+  spec.title = "Fig. 3 smoke";
+  spec.seed = 18446744073709551615ULL;  // uint64 max: JSON-double unsafe
+  spec.sets_per_point = 7;
+  spec.generator.period_distribution =
+      taskgen::PeriodDistribution::kLogUniform;
+
+  const CampaignSpec again = parse_spec_text(spec_to_json(spec));
+  EXPECT_EQ(again.name, spec.name);
+  EXPECT_EQ(again.title, spec.title);
+  EXPECT_EQ(again.schedulers, spec.schedulers);
+  EXPECT_EQ(again.mapping.hi, spec.mapping.hi);
+  EXPECT_EQ(again.mapping.lo, spec.mapping.lo);
+  EXPECT_EQ(again.seed, spec.seed);
+  EXPECT_EQ(again.sets_per_point, spec.sets_per_point);
+  EXPECT_EQ(again.generator.period_distribution,
+            spec.generator.period_distribution);
+  EXPECT_EQ(again.failure_probs, spec.failure_probs);
+  EXPECT_EQ(again.utilizations, spec.utilizations);
+  // Canonical form is a fixed point: emit(parse(emit(s))) == emit(s).
+  EXPECT_EQ(spec_to_json(again), spec_to_json(spec));
+}
+
+TEST(CampaignExpand, OrderIsSchedulerMajorAndSeedsMatchHistoricalFig3) {
+  const CampaignSpec spec = parse_spec_text(kMinimalSpec);
+  const std::vector<CellSpec> cells = expand_cells(spec);
+  const std::size_t n_f = spec.failure_probs.size();
+  const std::size_t n_u = spec.utilizations.size();
+  ASSERT_EQ(cells.size(), spec.schedulers.size() * n_f * n_u);
+
+  std::size_t i = 0;
+  for (std::size_t si = 0; si < spec.schedulers.size(); ++si) {
+    for (std::size_t fi = 0; fi < n_f; ++fi) {
+      for (std::size_t ui = 0; ui < n_u; ++ui, ++i) {
+        const CellSpec& cell = cells[i];
+        EXPECT_EQ(cell.index, i);
+        EXPECT_EQ(cell.scheduler, spec.schedulers[si]);
+        EXPECT_DOUBLE_EQ(cell.failure_prob, spec.failure_probs[fi]);
+        EXPECT_DOUBLE_EQ(cell.utilization, spec.utilizations[ui]);
+        // The seed is a pure function of the (f, U) grid position —
+        // independent of the scheduler, so every scheduler scores the
+        // same task sets, and identical to the historical fig3 driver.
+        EXPECT_EQ(cell.seed, exec::derive_seed(spec.seed, fi * n_u + ui));
+      }
+    }
+  }
+  // Paired comparison: both schedulers see identical seeds.
+  for (std::size_t k = 0; k < n_f * n_u; ++k) {
+    EXPECT_EQ(cells[k].seed, cells[n_f * n_u + k].seed);
+  }
+}
+
+TEST(CampaignHash, StableAndSensitiveToResultRelevantFields) {
+  const CampaignSpec spec = parse_spec_text(kMinimalSpec);
+  const std::vector<CellSpec> cells = expand_cells(spec);
+
+  // Deterministic: same cell, same hash; 16 lowercase hex digits.
+  const std::string h = cell_hash(cells[0]);
+  EXPECT_EQ(h, cell_hash(cells[0]));
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(h.find_first_not_of("0123456789abcdef"), std::string::npos);
+
+  // Every cell of the grid hashes differently.
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    for (std::size_t b = a + 1; b < cells.size(); ++b) {
+      EXPECT_NE(cell_hash(cells[a]), cell_hash(cells[b]))
+          << "cells " << a << " and " << b << " collide";
+    }
+  }
+
+  // Result-relevant edits change the hash...
+  CellSpec edited = cells[0];
+  edited.sets_per_point += 1;
+  EXPECT_NE(cell_hash(edited), h);
+  edited = cells[0];
+  edited.seed += 1;
+  EXPECT_NE(cell_hash(edited), h);
+}
+
+TEST(CampaignHash, DegradationFactorIgnoredForKillingSchedulers) {
+  const CampaignSpec spec = parse_spec_text(kMinimalSpec);
+  const std::vector<CellSpec> cells = expand_cells(spec);
+  const std::size_t half = cells.size() / 2;
+
+  // Killing cells do not depend on d_f: editing it keeps their hash
+  // (cache hit), while degradation cells re-run.
+  CellSpec killing = cells[0];
+  ASSERT_EQ(killing.scheduler, Scheduler::kEdfVdKilling);
+  CellSpec degradation = cells[half];
+  ASSERT_EQ(degradation.scheduler, Scheduler::kEdfVdDegradation);
+
+  const std::string killing_before = cell_hash(killing);
+  const std::string degradation_before = cell_hash(degradation);
+  killing.degradation_factor = 2.0;
+  degradation.degradation_factor = 2.0;
+  EXPECT_EQ(cell_hash(killing), killing_before);
+  EXPECT_NE(cell_hash(degradation), degradation_before);
+}
+
+TEST(CampaignHash, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace ftmc::campaign

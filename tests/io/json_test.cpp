@@ -88,6 +88,77 @@ TEST(JsonFtsResult, SerializesVerdictAndProfiles) {
             std::count(s.begin(), s.end(), ']'));
 }
 
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse(" false ").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(json::parse("\"a\\n\\\"b\\u0041\"").as_string(), "a\n\"bA");
+
+  const json::Value arr = json::parse("[1, [2, 3], {\"k\": 4}]");
+  ASSERT_EQ(arr.kind(), json::Value::Kind::kArray);
+  ASSERT_EQ(arr.items().size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.items()[1].items()[1].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(arr.items()[2].at("k").as_number(), 4.0);
+
+  const json::Value obj = json::parse("{\"a\": 1, \"b\": {\"c\": true}}");
+  ASSERT_EQ(obj.kind(), json::Value::Kind::kObject);
+  EXPECT_EQ(obj.fields().size(), 2u);
+  EXPECT_TRUE(obj.at("b").at("c").as_bool());
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), ParseError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)json::parse(""), ParseError);
+  EXPECT_THROW((void)json::parse("{"), ParseError);
+  EXPECT_THROW((void)json::parse("[1,]"), ParseError);
+  EXPECT_THROW((void)json::parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW((void)json::parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW((void)json::parse("'single'"), ParseError);
+  EXPECT_THROW((void)json::parse("{\"a\":1,\"a\":2}"), ParseError)
+      << "duplicate keys are ambiguous and must be rejected";
+  EXPECT_THROW((void)json::parse("\"\\ud834\\udd1e\""), ParseError)
+      << "surrogate pairs beyond the BMP are out of scope";
+  // Depth bomb: deeper than the parser's recursion limit.
+  const std::string deep(200, '[');
+  EXPECT_THROW((void)json::parse(deep), ParseError);
+}
+
+TEST(JsonParse, NumberEmissionRoundTripsThroughParser) {
+  // The number() contract: every double comes back bit-equal (NaN by
+  // kind) when re-parsed with as_number.
+  const double cases[] = {0.0, -0.0, 2.0, 2.04e-10, 1.0 / 3.0,
+                          -12345.678901234567, 1e308};
+  for (const double v : cases) {
+    EXPECT_DOUBLE_EQ(json::parse(json::number(v)).as_number(), v);
+  }
+  EXPECT_EQ(json::parse(json::number(
+                            std::numeric_limits<double>::infinity()))
+                .as_number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json::parse(json::number(
+                            -std::numeric_limits<double>::infinity()))
+                .as_number(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(json::parse(json::number(std::nan(""))).as_number()));
+  // Only the two sentinel strings are numeric; others stay strings.
+  EXPECT_THROW((void)json::parse("\"fast\"").as_number(), ParseError);
+}
+
+TEST(JsonParse, Uint64AcceptsFullRangeSeedsAsStrings) {
+  EXPECT_EQ(json::parse("0").as_uint64(), 0u);
+  EXPECT_EQ(json::parse("20140601").as_uint64(), 20140601u);
+  // Full 64-bit seeds do not fit a double; the decimal-string form does.
+  EXPECT_EQ(json::parse("\"18446744073709551615\"").as_uint64(),
+            18446744073709551615ULL);
+  EXPECT_THROW((void)json::parse("\"18446744073709551616\"").as_uint64(),
+               ParseError);  // overflow
+  EXPECT_THROW((void)json::parse("1.5").as_uint64(), ParseError);
+  EXPECT_THROW((void)json::parse("-1").as_uint64(), ParseError);
+  EXPECT_THROW((void)json::parse("\"12x\"").as_uint64(), ParseError);
+}
+
 TEST(JsonSweep, SerializesPoints) {
   const std::vector<core::AdaptationSweepPoint> pts = {
       {0, 0.73, 14400.0, true, false},

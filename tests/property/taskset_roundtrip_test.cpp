@@ -1,0 +1,82 @@
+/// Property test: the plain-text task-set format round-trips. For any
+/// task set ts, parse(emit(ts)) reproduces every field exactly (emission
+/// uses 17 significant digits, which is lossless for IEEE doubles), and
+/// emission is a fixed point: emit(parse(emit(ts))) == emit(ts).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ftmc/fms/fms.hpp"
+#include "ftmc/io/taskset_io.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::io {
+namespace {
+
+void expect_round_trip(const core::FtTaskSet& ts) {
+  const std::string text = task_set_to_string(ts);
+  const core::FtTaskSet parsed = parse_task_set_string(text);
+
+  EXPECT_EQ(parsed.mapping().hi, ts.mapping().hi);
+  EXPECT_EQ(parsed.mapping().lo, ts.mapping().lo);
+  ASSERT_EQ(parsed.tasks().size(), ts.tasks().size());
+  for (std::size_t i = 0; i < ts.tasks().size(); ++i) {
+    const core::FtTask& a = ts.tasks()[i];
+    const core::FtTask& b = parsed.tasks()[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.period, a.period) << a.name;      // exact: 17 digits
+    EXPECT_EQ(b.deadline, a.deadline) << a.name;
+    EXPECT_EQ(b.wcet, a.wcet) << a.name;
+    EXPECT_EQ(b.dal, a.dal) << a.name;
+    EXPECT_EQ(b.failure_prob, a.failure_prob) << a.name;
+  }
+
+  // Emission is a fixed point of parse-then-emit.
+  EXPECT_EQ(task_set_to_string(parsed), text);
+}
+
+TEST(TasksetRoundTrip, CanonicalFmsInstance) {
+  expect_round_trip(fms::canonical_fms_instance());
+}
+
+TEST(TasksetRoundTrip, RandomFmsInstances) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 25; ++i) {
+    expect_round_trip(fms::random_fms_instance(rng));
+  }
+}
+
+TEST(TasksetRoundTrip, GeneratedSetsAcrossTheFig3Grid) {
+  // Sweep the Appendix C generator across the Fig. 3 axes; irrational-ish
+  // doubles (utilization-derived WCETs) exercise the full 17-digit path.
+  taskgen::Rng rng(20140601);
+  for (const double u : {0.2, 0.5, 0.8, 1.0}) {
+    for (const double f : {1e-3, 1e-5}) {
+      taskgen::GeneratorParams params;
+      params.target_utilization = u;
+      params.failure_prob = f;
+      for (int i = 0; i < 10; ++i) {
+        expect_round_trip(taskgen::generate_task_set(params, rng));
+      }
+    }
+  }
+}
+
+TEST(TasksetRoundTrip, LogUniformPeriodsAndExplicitDeadlines) {
+  taskgen::GeneratorParams params;
+  params.period_distribution = taskgen::PeriodDistribution::kLogUniform;
+  params.target_utilization = 0.6;
+  taskgen::Rng rng(42);
+  for (int i = 0; i < 10; ++i) {
+    core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    // Constrain some deadlines so D != T is exercised too.
+    std::vector<core::FtTask> tasks(ts.tasks().begin(), ts.tasks().end());
+    for (std::size_t k = 0; k < tasks.size(); k += 2) {
+      tasks[k].deadline = tasks[k].deadline * 0.75;
+    }
+    expect_round_trip(core::FtTaskSet(tasks, ts.mapping()));
+  }
+}
+
+}  // namespace
+}  // namespace ftmc::io
