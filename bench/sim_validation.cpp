@@ -12,6 +12,7 @@
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/io/table.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/prob/poisson.hpp"
 #include "ftmc/sim/engine.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
 
@@ -46,17 +47,21 @@ int main(int argc, char** argv) {
   const sim::SimStats stats = simulator.run();
 
   io::Table table({"level", "analytical bound (Eq. 2)", "empirical PFH",
-                   "95% noise band", "consistent"});
+                   "95% Poisson CI", "consistent"});
   for (const CritLevel level : {CritLevel::HI, CritLevel::LO}) {
     const double bound = core::pfh_plain(ts, n, level);
+    const std::uint64_t k = simulator.failure_count(stats, level);
     const double emp = simulator.empirical_pfh(stats, level);
-    // The observed failure count is ~Poisson; the bound is refuted only
-    // if it lies below the lower edge of the 95% band around the sample.
-    const double sigma = std::sqrt(emp * hours) / hours;
-    const bool consistent = bound >= emp - 1.96 * sigma;
+    // The observed failure count is Poisson; the bound is refuted only if
+    // it lies below the exact (Garwood) 95% interval on the rate. The
+    // normal approximation used here previously collapses to a +-0 band
+    // at k = 0, which certified the bound vacuously.
+    const prob::PoissonInterval ci = prob::poisson_interval(k, 0.95);
+    const bool consistent = bound >= ci.lower / hours;
     table.add_row({std::string(to_string(level)), io::Table::sci(bound, 3),
                    io::Table::sci(emp, 3),
-                   "+-" + io::Table::sci(1.96 * sigma, 2),
+                   "[" + io::Table::sci(ci.lower / hours, 2) + ", " +
+                       io::Table::sci(ci.upper / hours, 2) + "]",
                    consistent ? "yes" : "REFUTED"});
   }
   std::cout << table << "\n";

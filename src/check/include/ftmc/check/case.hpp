@@ -1,0 +1,58 @@
+/// \file case.hpp
+/// \brief One differential-testing input: a random fault-tolerant task set
+///        plus the fault-tolerance knobs the analyses are run with.
+///
+/// Cases are drawn deterministically: case `index` under base seed `s` is
+/// generated from an RNG seeded with exec::derive_seed(s, index), so any
+/// failure replays exactly from (seed, index) alone — independent of
+/// thread count, wave sizes, or which other properties ran before.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ftmc/core/conversion.hpp"
+#include "ftmc/core/ft_task.hpp"
+#include "ftmc/mcs/task.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::check {
+
+/// One generated input to the property registry.
+struct Case {
+  core::FtTaskSet ts;              ///< the fault-tolerant task set
+  int n_hi = 2;                    ///< re-execution budget of HI tasks
+  int n_lo = 1;                    ///< re-execution budget of LO tasks
+  int n_adapt = 1;                 ///< n': faults before the mode switch
+  double degradation_factor = 2.0; ///< d_f for degradation properties
+  std::uint64_t seed = 0;          ///< derived seed this case came from
+  std::uint64_t index = 0;         ///< case index under the base seed
+};
+
+/// Deliberate analysis corruptions, used to prove the harness has teeth:
+/// with a bug injected the fuzzer must find, shrink and report a
+/// counterexample (see the CI self-test).
+struct InjectedBugs {
+  /// Drop one re-execution term from the FT-EDF-VD demand: the HI budget
+  /// C(HI) of the Lemma 4.1 conversion becomes (n-1)*C instead of n*C.
+  /// Only the set handed to the analyses *under test* is corrupted; the
+  /// oracles (exact demand-bound test, worst-case simulation) keep the
+  /// true demand, so properties comparing the two must fail.
+  bool drop_reexec_term = false;
+
+  [[nodiscard]] bool any() const { return drop_reexec_term; }
+};
+
+/// Draws case `index` for `base_seed`. Scenario knobs (target utilization
+/// 0.3..0.95, per-attempt failure probability 1e-5..1e-2, HI share, LO
+/// DAL, re-execution budgets, adaptation profile, degradation factor) are
+/// themselves drawn from the derived per-case RNG.
+[[nodiscard]] Case draw_case(std::uint64_t base_seed, std::uint64_t index);
+
+/// Lemma 4.1 conversion of `c` as the analyses under test see it: the
+/// clean convert_to_mc(ts, n_hi, n_lo, n_adapt), unless `bugs` injects a
+/// corruption.
+[[nodiscard]] mcs::McTaskSet convert_under_test(const Case& c,
+                                                const InjectedBugs& bugs);
+
+}  // namespace ftmc::check

@@ -1,0 +1,56 @@
+/// \file repro.hpp
+/// \brief Reading and writing minimal-repro files.
+///
+/// A repro is the existing task-set text format (ftmc::io) prefixed with
+/// '#'-comment metadata lines carrying the property name and the
+/// fault-tolerance knobs, so the file both replays exactly through
+/// `ftmc_check --replay` *and* loads into any other tool that reads task
+/// sets. Repro bytes are a pure function of (base seed, case index,
+/// property): no timestamps, no environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftmc/check/property.hpp"
+
+namespace ftmc::check {
+
+/// A failure found by the harness, after shrinking.
+struct FailureRecord {
+  std::string property;       ///< property name (registry id)
+  std::string family;         ///< property family
+  std::string message;        ///< failure message on the ORIGINAL case
+  std::uint64_t base_seed = 0;
+  Case original;              ///< as drawn
+  Case minimal;               ///< after delta-debugging (still failing)
+  int shrink_evaluations = 0;
+  int shrink_accepted = 0;
+  std::string repro_path;     ///< filled once written to disk
+};
+
+/// Parsed contents of a repro file.
+struct Repro {
+  std::string property;
+  std::string family;
+  std::string message;
+  std::uint64_t base_seed = 0;
+  Case c;
+};
+
+/// Renders the repro file contents for `record` (its minimal case).
+[[nodiscard]] std::string repro_to_string(const FailureRecord& record);
+
+/// Deterministic file name: repro-<property>-s<base_seed>-i<index>.txt.
+[[nodiscard]] std::string repro_file_name(const FailureRecord& record);
+
+/// Parses a repro file's contents (metadata comments + task lines).
+/// Throws io::ParseError on malformed input.
+[[nodiscard]] Repro parse_repro(const std::string& text);
+
+/// Writes every record's minimal repro under `dir` (created if missing)
+/// and fills in repro_path. Returns the paths written.
+std::vector<std::string> write_repro_files(
+    std::vector<FailureRecord>& records, const std::string& dir);
+
+}  // namespace ftmc::check

@@ -1,0 +1,37 @@
+/// \file shrink.hpp
+/// \brief Delta-debugging of failing cases to minimal repros.
+///
+/// Given a case on which a property fails, the shrinker greedily applies
+/// reduction passes — drop task subsets (ddmin-style, coarse halves down
+/// to single tasks), halve WCETs, round periods and WCETs to "nice"
+/// values — keeping a candidate only if the property still *fails* on it.
+/// Candidates that fail model validation are discarded, and properties
+/// return kSkip (never kFail) on unmet preconditions, so shrinking cannot
+/// drift into vacuous territory. The whole process is deterministic.
+#pragma once
+
+#include "ftmc/check/property.hpp"
+
+namespace ftmc::check {
+
+struct ShrinkOptions {
+  /// Cap on property evaluations; the shrinker stops (keeping the best
+  /// reduction so far) once exhausted.
+  int max_evaluations = 2000;
+};
+
+struct ShrinkResult {
+  Case minimal;         ///< smallest failing case found (still fails)
+  int evaluations = 0;  ///< property evaluations spent
+  int accepted = 0;     ///< reduction steps that kept the failure
+};
+
+/// Shrinks `failing` (which must fail `property` under `ctx`) to a
+/// smaller case that still fails. If `failing` does not actually fail,
+/// it is returned unchanged with zero accepted steps.
+[[nodiscard]] ShrinkResult shrink_case(const Case& failing,
+                                       const Property& property,
+                                       const PropertyContext& ctx,
+                                       const ShrinkOptions& options = {});
+
+}  // namespace ftmc::check

@@ -1,0 +1,52 @@
+#include "ftmc/check/case.hpp"
+
+#include <algorithm>
+
+#include "ftmc/exec/seed.hpp"
+
+namespace ftmc::check {
+
+Case draw_case(std::uint64_t base_seed, std::uint64_t index) {
+  const std::uint64_t seed = exec::derive_seed(base_seed, index);
+  taskgen::Rng rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  taskgen::GeneratorParams params;
+  // Spread the scenario space: from comfortably feasible to overloaded,
+  // so both acceptances and rejections of every test are exercised.
+  params.target_utilization = 0.30 + 0.65 * unit(rng);
+  static constexpr double kFaultRates[] = {1e-5, 1e-4, 1e-3, 1e-2};
+  params.failure_prob = kFaultRates[rng() % 4];
+  params.p_hi = 0.15 + 0.35 * unit(rng);
+  params.mapping = {Dal::B, (rng() % 2 == 0) ? Dal::C : Dal::D};
+  params.period_distribution = (rng() % 2 == 0)
+                                   ? taskgen::PeriodDistribution::kUniform
+                                   : taskgen::PeriodDistribution::kLogUniform;
+
+  Case c;
+  c.ts = taskgen::generate_task_set(params, rng);
+  c.n_hi = 2 + static_cast<int>(rng() % 3);  // 2..4
+  c.n_lo = 1 + static_cast<int>(rng() % 2);  // 1..2
+  c.n_adapt = static_cast<int>(rng() % static_cast<std::uint64_t>(c.n_hi));
+  static constexpr double kDegradationFactors[] = {1.5, 2.0, 4.0, 6.0};
+  c.degradation_factor = kDegradationFactors[rng() % 4];
+  c.seed = seed;
+  c.index = index;
+  return c;
+}
+
+mcs::McTaskSet convert_under_test(const Case& c, const InjectedBugs& bugs) {
+  mcs::McTaskSet clean =
+      core::convert_to_mc(c.ts, c.n_hi, c.n_lo, c.n_adapt);
+  if (!bugs.drop_reexec_term || c.n_hi < 2) return clean;
+
+  std::vector<mcs::McTask> tasks = clean.tasks();
+  for (mcs::McTask& t : tasks) {
+    if (t.crit != CritLevel::HI) continue;
+    const Millis one_execution = t.wcet_hi / static_cast<double>(c.n_hi);
+    t.wcet_hi = std::max(t.wcet_hi - one_execution, t.wcet_lo);
+  }
+  return mcs::McTaskSet(std::move(tasks));
+}
+
+}  // namespace ftmc::check

@@ -1,0 +1,134 @@
+#include "ftmc/check/repro.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ftmc/common/contracts.hpp"
+#include "ftmc/io/parse_error.hpp"
+#include "ftmc/io/taskset_io.hpp"
+
+namespace ftmc::check {
+namespace {
+
+/// Failure messages can span lines; metadata is one line per key.
+std::string one_line(const std::string& text) {
+  std::string out = text;
+  for (char& ch : out) {
+    if (ch == '\n' || ch == '\r') ch = ';';
+  }
+  return out;
+}
+
+/// "# key: value" -> (key, value); empty key when not a metadata line.
+std::pair<std::string, std::string> parse_meta_line(
+    const std::string& line) {
+  if (line.rfind("# ", 0) != 0) return {};
+  const std::size_t colon = line.find(": ");
+  if (colon == std::string::npos || colon <= 2) return {};
+  return {line.substr(2, colon - 2), line.substr(colon + 2)};
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw io::ParseError("repro metadata: bad integer for '" + key +
+                         "': \"" + value + "\"");
+  }
+}
+
+}  // namespace
+
+std::string repro_to_string(const FailureRecord& record) {
+  std::ostringstream out;
+  out << "# ftmc_check repro (replay: ftmc_check --replay <this file>)\n";
+  out << "# property: " << record.property << "\n";
+  out << "# family: " << record.family << "\n";
+  out << "# base-seed: " << record.base_seed << "\n";
+  out << "# case-index: " << record.minimal.index << "\n";
+  out << "# case-seed: " << record.minimal.seed << "\n";
+  out << "# n-hi: " << record.minimal.n_hi << "\n";
+  out << "# n-lo: " << record.minimal.n_lo << "\n";
+  out << "# n-adapt: " << record.minimal.n_adapt << "\n";
+  out << "# degradation-factor: " << record.minimal.degradation_factor
+      << "\n";
+  out << "# message: " << one_line(record.message) << "\n";
+  out << io::task_set_to_string(record.minimal.ts);
+  return out.str();
+}
+
+std::string repro_file_name(const FailureRecord& record) {
+  std::ostringstream name;
+  name << "repro-" << record.property << "-s" << record.base_seed << "-i"
+       << record.minimal.index << ".txt";
+  return name.str();
+}
+
+Repro parse_repro(const std::string& text) {
+  Repro repro;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_df = false;
+  while (std::getline(in, line)) {
+    const auto [key, value] = parse_meta_line(line);
+    if (key.empty()) continue;
+    if (key == "property") {
+      repro.property = value;
+    } else if (key == "family") {
+      repro.family = value;
+    } else if (key == "message") {
+      repro.message = value;
+    } else if (key == "base-seed") {
+      repro.base_seed = parse_u64(key, value);
+    } else if (key == "case-index") {
+      repro.c.index = parse_u64(key, value);
+    } else if (key == "case-seed") {
+      repro.c.seed = parse_u64(key, value);
+    } else if (key == "n-hi") {
+      repro.c.n_hi = static_cast<int>(parse_u64(key, value));
+    } else if (key == "n-lo") {
+      repro.c.n_lo = static_cast<int>(parse_u64(key, value));
+    } else if (key == "n-adapt") {
+      repro.c.n_adapt = static_cast<int>(parse_u64(key, value));
+    } else if (key == "degradation-factor") {
+      try {
+        repro.c.degradation_factor = std::stod(value);
+      } catch (const std::exception&) {
+        throw io::ParseError(
+            "repro metadata: bad degradation-factor \"" + value + "\"");
+      }
+      saw_df = true;
+    }
+    // Unknown metadata keys are ignored: forward compatibility.
+  }
+  if (repro.property.empty()) {
+    throw io::ParseError("repro file lacks a '# property: ...' line");
+  }
+  (void)saw_df;
+  // The task lines themselves; '#' metadata passes through as comments.
+  repro.c.ts = io::parse_task_set_string(text);
+  return repro;
+}
+
+std::vector<std::string> write_repro_files(
+    std::vector<FailureRecord>& records, const std::string& dir) {
+  std::vector<std::string> paths;
+  if (records.empty()) return paths;
+  std::filesystem::create_directories(dir);
+  for (FailureRecord& record : records) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / repro_file_name(record);
+    std::ofstream out(path);
+    FTMC_EXPECTS(out.good(),
+                 "cannot open repro file for writing: " + path.string());
+    out << repro_to_string(record);
+    out.flush();
+    FTMC_EXPECTS(out.good(), "failed writing repro: " + path.string());
+    record.repro_path = path.string();
+    paths.push_back(record.repro_path);
+  }
+  return paths;
+}
+
+}  // namespace ftmc::check

@@ -1,0 +1,168 @@
+#include "ftmc/check/shrink.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace ftmc::check {
+namespace {
+
+/// Rebuilds a Case around a reduced task vector, keeping the knobs.
+Case with_tasks(const Case& base, std::vector<core::FtTask> tasks) {
+  Case out = base;
+  out.ts = core::FtTaskSet(std::move(tasks), base.ts.mapping());
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const Property& property, const PropertyContext& ctx,
+           const ShrinkOptions& options)
+      : property_(property), ctx_(ctx), options_(options) {}
+
+  /// Does the candidate still fail? Invalid candidates never count as
+  /// failing; a property that throws does (a crash on a smaller input is
+  /// at least as interesting as the original failure).
+  bool still_fails(const Case& candidate) {
+    if (evaluations_ >= options_.max_evaluations) return false;
+    ++evaluations_;
+    try {
+      candidate.ts.validate();
+    } catch (const std::exception&) {
+      return false;
+    }
+    try {
+      return property_.run(candidate, ctx_).verdict == Verdict::kFail;
+    } catch (const std::exception&) {
+      return true;
+    }
+  }
+
+  /// ddmin-style task removal: try dropping windows of size n/2, n/4, ...
+  /// down to 1, restarting at the current granularity after a success.
+  bool pass_drop_tasks(Case& c) {
+    bool any = false;
+    std::size_t window = (c.ts.size() + 1) / 2;
+    while (window >= 1 && c.ts.size() > 1) {
+      bool reduced = false;
+      for (std::size_t start = 0; start + window <= c.ts.size();) {
+        std::vector<core::FtTask> kept;
+        kept.reserve(c.ts.size() - window);
+        for (std::size_t i = 0; i < c.ts.size(); ++i) {
+          if (i < start || i >= start + window) kept.push_back(c.ts[i]);
+        }
+        if (kept.empty()) {
+          ++start;
+          continue;
+        }
+        const Case candidate = with_tasks(c, std::move(kept));
+        if (still_fails(candidate)) {
+          c = candidate;
+          reduced = any = true;
+          ++accepted_;
+          // Same start now names the next window; don't advance.
+        } else {
+          ++start;
+        }
+      }
+      if (!reduced) window /= 2;
+      window = std::min(window, c.ts.size() > 1 ? c.ts.size() - 1
+                                                : std::size_t{0});
+    }
+    return any;
+  }
+
+  /// Halve WCETs one task at a time, repeating while the failure holds.
+  bool pass_halve_wcets(Case& c) {
+    bool any = false;
+    for (std::size_t i = 0; i < c.ts.size(); ++i) {
+      while (c.ts[i].wcet > 0.002) {
+        std::vector<core::FtTask> tasks(c.ts.tasks());
+        tasks[i].wcet /= 2.0;
+        const Case candidate = with_tasks(c, std::move(tasks));
+        if (!still_fails(candidate)) break;
+        c = candidate;
+        any = true;
+        ++accepted_;
+      }
+    }
+    return any;
+  }
+
+  /// Round periods (and deadlines with them, preserving implicitness)
+  /// and WCETs to round numbers: whole ms first, then 2 significant
+  /// digits for periods.
+  bool pass_round_values(Case& c) {
+    bool any = false;
+    for (std::size_t i = 0; i < c.ts.size(); ++i) {
+      for (const double rounded : round_candidates(c.ts[i].period)) {
+        if (rounded == c.ts[i].period || rounded <= 0.0) continue;
+        std::vector<core::FtTask> tasks(c.ts.tasks());
+        const bool implicit = tasks[i].deadline == tasks[i].period;
+        tasks[i].period = rounded;
+        if (implicit) tasks[i].deadline = rounded;
+        const Case candidate = with_tasks(c, std::move(tasks));
+        if (still_fails(candidate)) {
+          c = candidate;
+          any = true;
+          ++accepted_;
+          break;
+        }
+      }
+      const double w = std::round(c.ts[i].wcet * 1000.0) / 1000.0;
+      if (w != c.ts[i].wcet && w > 0.0) {
+        std::vector<core::FtTask> tasks(c.ts.tasks());
+        tasks[i].wcet = w;
+        const Case candidate = with_tasks(c, std::move(tasks));
+        if (still_fails(candidate)) {
+          c = candidate;
+          any = true;
+          ++accepted_;
+        }
+      }
+    }
+    return any;
+  }
+
+  ShrinkResult run(const Case& failing) {
+    Case current = failing;
+    if (!still_fails(current)) {
+      return {current, evaluations_, 0};
+    }
+    bool progress = true;
+    while (progress && evaluations_ < options_.max_evaluations) {
+      progress = false;
+      progress |= pass_drop_tasks(current);
+      progress |= pass_halve_wcets(current);
+      progress |= pass_round_values(current);
+    }
+    return {current, evaluations_, accepted_};
+  }
+
+ private:
+  static std::vector<double> round_candidates(double period) {
+    std::vector<double> out;
+    out.push_back(std::round(period));
+    if (period >= 10.0) {
+      const double mag =
+          std::pow(10.0, std::floor(std::log10(period)) - 1.0);
+      out.push_back(std::round(period / mag) * mag);  // 2 sig. digits
+    }
+    return out;
+  }
+
+  const Property& property_;
+  const PropertyContext& ctx_;
+  const ShrinkOptions& options_;
+  int evaluations_ = 0;
+  int accepted_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const Case& failing, const Property& property,
+                         const PropertyContext& ctx,
+                         const ShrinkOptions& options) {
+  return Shrinker(property, ctx, options).run(failing);
+}
+
+}  // namespace ftmc::check

@@ -1,0 +1,36 @@
+/// \file poisson.hpp
+/// \brief Exact (Garwood) confidence intervals for a Poisson count.
+///
+/// Simulation-vs-analysis validation observes a *count* k of rare failure
+/// events over a horizon. The normal approximation emp ± 1.96 sigma is
+/// vacuous at k = 0 (the band collapses to ±0, so "bound >= emp - band"
+/// can never flag an unsound bound). The Garwood interval is exact for
+/// every k, in particular k = 0, where it is [0, -ln(alpha/2)] — a
+/// non-degenerate band that zero observations genuinely support.
+#pragma once
+
+#include <cstdint>
+
+namespace ftmc::prob {
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// A two-sided confidence interval for the mean of a Poisson variable.
+struct PoissonInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Exact two-sided Garwood interval for the Poisson mean given an observed
+/// count `k`: the lower endpoint solves P(X >= k; mu) = alpha/2 (0 when
+/// k = 0), the upper solves P(X <= k; mu) = alpha/2, with
+/// alpha = 1 - confidence. Equivalent to the chi-square form
+/// [chi2(alpha/2; 2k)/2, chi2(1-alpha/2; 2k+2)/2].
+[[nodiscard]] PoissonInterval poisson_interval(std::uint64_t k,
+                                               double confidence = 0.95);
+
+}  // namespace ftmc::prob

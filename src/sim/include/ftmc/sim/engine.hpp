@@ -48,6 +48,11 @@ struct SimConfig {
   ExecTimeModel exec_model = ExecTimeModel::kAlwaysWcet;
   double exec_min_fraction = 1.0;  ///< lower bound for kUniform
 
+  /// Fault model: random per-attempt faults, or the deterministic
+  /// worst-case adversary that consumes every job's full re-execution
+  /// budget (see FaultAdversary).
+  FaultAdversary fault_adversary = FaultAdversary::kBernoulli;
+
   /// Return to LO mode at the first processor-idle instant after a switch
   /// (a common MC runtime extension; off by default to match the paper's
   /// latched-mode analysis).
@@ -80,6 +85,13 @@ class Simulator {
   [[nodiscard]] const std::vector<SimTask>& tasks() const noexcept {
     return tasks_;
   }
+
+  /// Total temporal-domain failures (exhausted re-execution budgets,
+  /// kills, deadline misses) of the tasks at `level`. This is the raw
+  /// Poisson count behind empirical_pfh(); validation code needs it to
+  /// attach an exact (Garwood) confidence interval. Valid after run().
+  [[nodiscard]] std::uint64_t failure_count(const SimStats& stats,
+                                            CritLevel level) const;
 
   /// Empirical PFH of the tasks at `level`: temporal-domain failures per
   /// simulated hour. Valid after run().

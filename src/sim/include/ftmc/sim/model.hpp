@@ -68,6 +68,20 @@ enum class ExecTimeModel {
   kUniform,     ///< uniform in [exec_min_fraction * C_i, C_i]
 };
 
+/// Who decides whether an execution attempt's sanity check fails.
+enum class FaultAdversary {
+  /// i.i.d. per-attempt faults with probability f_i (the paper's fault
+  /// model; the default).
+  kBernoulli,
+  /// Deterministic worst case: every job fails all but its last permitted
+  /// attempt and succeeds on the last one. Demand is maximal (a job
+  /// consumes its full re-execution budget n_i * C_i), the criticality
+  /// change of a HI job fires at the latest possible instant, and — unlike
+  /// f_i -> 1 — every job still completes, so deadline misses remain
+  /// observable. Used by ftmc::check to validate schedulability claims.
+  kExhaustBudget,
+};
+
 /// Builds the simulator task list from the analysis-level model:
 /// re-execution profiles n, adaptation profiles n', and (for kEdfVd) the
 /// virtual-deadline factor x obtained from analyze_edf_vd on the converted

@@ -179,7 +179,16 @@ void Simulator::release_job(std::uint32_t task_index, Tick now) {
   job.task = task_index;
   job.id = next_job_id_[task_index]++;
   job.release = now;
-  job.abs_deadline = now + task.deadline;
+  // Degraded service (elastic model of [12]): LO deadlines stay implicit
+  // with respect to the *stretched* period, so a LO job released in HI
+  // mode is due d_f * D after release, not D.
+  Tick relative_deadline = task.deadline;
+  if (task.crit == CritLevel::LO && mode_ == CritLevel::HI &&
+      config_.adaptation == mcs::AdaptationKind::kDegradation) {
+    relative_deadline = static_cast<Tick>(
+        config_.degradation_factor * static_cast<double>(task.deadline));
+  }
+  job.abs_deadline = now + relative_deadline;
   job.remaining = sample_segment_time(task);
   job.alive = true;
   ready_.push_back(slot);
@@ -220,9 +229,20 @@ void Simulator::enter_hi_mode(Tick now) {
       if (tasks_[i].crit == CritLevel::LO) next_release_[i] = kNever;
     }
   } else if (config_.adaptation == mcs::AdaptationKind::kDegradation) {
-    // Already-released LO jobs keep running; pending next releases are
-    // pushed out so that the inter-arrival from the *previous* release
-    // grows to d_f * T (service model of [12]).
+    // Already-released LO jobs keep running but adopt the degraded
+    // implicit deadline (release + d_f * D): the mode switch relaxes
+    // both their rate and their due date, matching the elastic service
+    // model of [12] that Eq. (12) analyzes.
+    for (const std::size_t slot : ready_) {
+      Job& job = jobs_[slot];
+      const SimTask& task = tasks_[job.task];
+      if (task.crit != CritLevel::LO) continue;
+      job.abs_deadline =
+          job.release + static_cast<Tick>(config_.degradation_factor *
+                                          static_cast<double>(task.deadline));
+    }
+    // Pending next releases are pushed out so that the inter-arrival
+    // from the *previous* release grows to d_f * T.
     for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
       const SimTask& task = tasks_[i];
       if (task.crit != CritLevel::LO || next_release_[i] == kNever) continue;
@@ -265,8 +285,16 @@ void Simulator::finish_segment(std::size_t job_slot, Tick now) {
   TaskStats& ts = stats_.per_task[task_index];
   ++ts.attempts;  // one completed segment execution
 
-  std::bernoulli_distribution fault(task.segment_failure_prob());
-  if (!fault(rng_)) {
+  bool faulted;
+  if (config_.fault_adversary == FaultAdversary::kExhaustBudget) {
+    // Worst-case adversary: fail every segment execution while the job
+    // still has retry budget left, succeed on the last permitted one.
+    faulted = job.faults < task.max_attempts - 1;
+  } else {
+    std::bernoulli_distribution fault(task.segment_failure_prob());
+    faulted = fault(rng_);
+  }
+  if (!faulted) {
     // Sanity check passed for this segment.
     ++job.segments_done;
     if (job.segments_done < task.segments) {
@@ -404,17 +432,22 @@ SimStats Simulator::run() {
   return stats_;
 }
 
-double Simulator::empirical_pfh(const SimStats& stats,
-                                CritLevel level) const {
-  const double hours = stats.simulated_hours();
-  FTMC_EXPECTS(hours > 0.0, "empirical PFH needs a positive horizon");
+std::uint64_t Simulator::failure_count(const SimStats& stats,
+                                       CritLevel level) const {
   std::uint64_t failures = 0;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (tasks_[i].crit == level) {
       failures += stats.per_task[i].temporal_failures();
     }
   }
-  return static_cast<double>(failures) / hours;
+  return failures;
+}
+
+double Simulator::empirical_pfh(const SimStats& stats,
+                                CritLevel level) const {
+  const double hours = stats.simulated_hours();
+  FTMC_EXPECTS(hours > 0.0, "empirical PFH needs a positive horizon");
+  return static_cast<double>(failure_count(stats, level)) / hours;
 }
 
 SimStats simulate(const core::FtTaskSet& ts, int n_hi, int n_lo,

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ftmc/check/case.hpp"
+#include "ftmc/check/property.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+
+namespace ftmc::check {
+namespace {
+
+TEST(PropertyRegistry, FamiliesAndNamesAreWellFormed) {
+  const auto& props = all_properties();
+  ASSERT_GE(props.size(), 10u);
+  std::set<std::string> names;
+  std::set<std::string> families;
+  for (const Property& p : props) {
+    EXPECT_NE(p.fn, nullptr) << p.name;
+    EXPECT_FALSE(p.doc.empty()) << p.name;
+    EXPECT_TRUE(names.insert(std::string(p.name)).second)
+        << "duplicate property name: " << p.name;
+    families.insert(std::string(p.family));
+    EXPECT_TRUE(p.family == kFamilyAnalysisVsSim ||
+                p.family == kFamilySufficientVsExact ||
+                p.family == kFamilyPfhMetamorphic)
+        << p.name << " has unknown family " << p.family;
+  }
+  // All three families are populated.
+  EXPECT_EQ(families.size(), 3u);
+  EXPECT_EQ(find_property("edf_vd_killing_vs_sim"),
+            &props[0]);  // stable order: registry[0] is the EDF-VD oracle
+  EXPECT_EQ(find_property("no-such-property"), nullptr);
+}
+
+TEST(DrawCase, IsDeterministicAndValid) {
+  for (std::uint64_t index : {0ULL, 1ULL, 17ULL, 999ULL}) {
+    const Case a = draw_case(123, index);
+    const Case b = draw_case(123, index);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.index, index);
+    EXPECT_EQ(a.n_hi, b.n_hi);
+    EXPECT_EQ(a.ts.size(), b.ts.size());
+    a.ts.validate();
+    EXPECT_GE(a.n_hi, 2);
+    EXPECT_GE(a.n_lo, 1);
+    EXPECT_GE(a.n_adapt, 0);
+    EXPECT_LT(a.n_adapt, a.n_hi);
+    EXPECT_GT(a.degradation_factor, 1.0);
+  }
+  // Different indices give different sets (not a stuck RNG).
+  EXPECT_NE(draw_case(123, 0).seed, draw_case(123, 1).seed);
+}
+
+TEST(ConvertUnderTest, CleanMatchesLemma41AndBugDropsOneTerm) {
+  Case c = draw_case(7, 3);
+  const mcs::McTaskSet clean = convert_under_test(c, {});
+  const mcs::McTaskSet truth =
+      core::convert_to_mc(c.ts, c.n_hi, c.n_lo, c.n_adapt);
+  ASSERT_EQ(clean.size(), truth.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clean[i].wcet_hi, truth[i].wcet_hi);
+    EXPECT_DOUBLE_EQ(clean[i].wcet_lo, truth[i].wcet_lo);
+  }
+
+  InjectedBugs bugs;
+  bugs.drop_reexec_term = true;
+  const mcs::McTaskSet buggy = convert_under_test(c, bugs);
+  bool any_dropped = false;
+  for (std::size_t i = 0; i < buggy.size(); ++i) {
+    if (truth[i].crit == CritLevel::HI) {
+      // One re-execution budget removed: (n-1) * C instead of n * C.
+      EXPECT_LE(buggy[i].wcet_hi, truth[i].wcet_hi);
+      any_dropped |= buggy[i].wcet_hi < truth[i].wcet_hi;
+    } else {
+      EXPECT_DOUBLE_EQ(buggy[i].wcet_hi, truth[i].wcet_hi);
+    }
+  }
+  EXPECT_TRUE(any_dropped);
+  buggy.validate();  // the corruption must still be a valid input
+}
+
+TEST(BoundedHyperperiod, ExactLcmWhenRepresentable) {
+  // 10 ms and 15 ms -> 10000 and 15000 ticks -> lcm 30000 ticks.
+  core::FtTaskSet ts({{"a", 10.0, 10.0, 1.0, Dal::B, 1e-4},
+                      {"b", 15.0, 15.0, 1.0, Dal::C, 1e-4}},
+                     {Dal::B, Dal::C});
+  EXPECT_EQ(bounded_hyperperiod(ts, 10'000'000), 30'000);
+}
+
+TEST(BoundedHyperperiod, SaturatesAtTheCap) {
+  // 997 and 1009 ticks-ish periods: pairwise-coprime milliseconds give a
+  // hyperperiod far past the cap.
+  core::FtTaskSet ts({{"a", 997.0, 997.0, 1.0, Dal::B, 1e-4},
+                      {"b", 1009.0, 1009.0, 1.0, Dal::C, 1e-4},
+                      {"c", 1013.0, 1013.0, 1.0, Dal::C, 1e-4}},
+                     {Dal::B, Dal::C});
+  EXPECT_EQ(bounded_hyperperiod(ts, 10'000'000), 10'000'000);
+}
+
+TEST(Properties, CleanCasesNeverFail) {
+  // The zero-failures sweep in harness_test covers volume; this pins a
+  // handful of specific cases with per-property attribution.
+  PropertyContext ctx;
+  for (std::uint64_t index = 0; index < 25; ++index) {
+    const Case c = draw_case(2026, index);
+    for (const Property& p : all_properties()) {
+      const Outcome o = p.run(c, ctx);
+      EXPECT_NE(o.verdict, Verdict::kFail)
+          << p.name << " on case " << index << ": " << o.message;
+    }
+  }
+}
+
+TEST(Properties, InjectedBugIsCaughtBySimOracle) {
+  // Crafted overload: two HI tasks with T = 10 ms, C = 2 ms, n = 3.
+  // True demand 2 * 3 * 2 / 10 = 1.2 > 1, so the honest analysis rejects;
+  // dropping one re-execution term (2 * 2 * 2 / 10 = 0.8) makes the
+  // corrupted EDF-VD accept, and the worst-case adversary -- which still
+  // runs all three attempts -- must produce a deadline miss.
+  Case c;
+  c.ts = core::FtTaskSet({{"h1", 10.0, 10.0, 2.0, Dal::B, 1e-4},
+                          {"h2", 10.0, 10.0, 2.0, Dal::B, 1e-4},
+                          {"l1", 100.0, 100.0, 1.0, Dal::C, 1e-4}},
+                         {Dal::B, Dal::C});
+  c.n_hi = 3;
+  c.n_lo = 1;
+  c.n_adapt = 1;
+
+  PropertyContext clean;
+  PropertyContext buggy;
+  buggy.bugs.drop_reexec_term = true;
+
+  const Property* vs_sim = find_property("edf_vd_killing_vs_sim");
+  ASSERT_NE(vs_sim, nullptr);
+
+  // Honest analysis rejects -> the property has nothing to check.
+  EXPECT_EQ(vs_sim->run(c, clean).verdict, Verdict::kSkip);
+
+  // Corrupted analysis accepts -> simulation catches the lie.
+  const Outcome o = vs_sim->run(c, buggy);
+  ASSERT_EQ(o.verdict, Verdict::kFail) << o.message;
+  EXPECT_NE(o.message.find("deadline miss"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftmc::check

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "ftmc/check/shrink.hpp"
+
+namespace ftmc::check {
+namespace {
+
+/// Synthetic failure marker: the property fails while the set still
+/// contains a task with WCET >= 4 ms. One specific "culprit" shape lets
+/// the tests reason about what the minimal case must look like.
+Outcome fails_on_fat_task(const Case& c, const PropertyContext&) {
+  for (const core::FtTask& t : c.ts.tasks()) {
+    if (t.wcet >= 4.0) {
+      return Outcome::fail("fat task present: " + t.name);
+    }
+  }
+  return Outcome::pass();
+}
+
+Property marker_property() {
+  Property p;
+  p.name = "fails_on_fat_task";
+  p.family = kFamilyAnalysisVsSim;
+  p.doc = "test marker";
+  p.fn = &fails_on_fat_task;
+  return p;
+}
+
+Case fat_case() {
+  Case c;
+  c.ts = core::FtTaskSet({{"t1", 100.0, 100.0, 1.0, Dal::B, 1e-4},
+                          {"t2", 200.0, 200.0, 2.0, Dal::C, 1e-4},
+                          {"fat", 331.0, 331.0, 17.3, Dal::B, 1e-4},
+                          {"t4", 400.0, 400.0, 3.0, Dal::C, 1e-4},
+                          {"t5", 500.0, 500.0, 1.5, Dal::C, 1e-4},
+                          {"t6", 617.0, 617.0, 2.0, Dal::B, 1e-4}},
+                         {Dal::B, Dal::C});
+  c.seed = 42;
+  c.index = 9;
+  return c;
+}
+
+TEST(Shrink, MinimalCaseStillFailsAndIsOneTask) {
+  const Property p = marker_property();
+  PropertyContext ctx;
+  const ShrinkResult r = shrink_case(fat_case(), p, ctx);
+
+  // Still failing (the shrinker's invariant) ...
+  EXPECT_EQ(p.run(r.minimal, ctx).verdict, Verdict::kFail);
+  // ... and down to the single culprit task,
+  ASSERT_EQ(r.minimal.ts.size(), 1u);
+  EXPECT_EQ(r.minimal.ts[0].name, "fat");
+  // ... whose WCET was halved to just above the failure threshold
+  // (one more halving of anything >= 8 lands below 4... so < 8).
+  EXPECT_GE(r.minimal.ts[0].wcet, 4.0);
+  EXPECT_LT(r.minimal.ts[0].wcet, 8.0);
+  // ... and whose awkward period got rounded to something readable.
+  EXPECT_DOUBLE_EQ(r.minimal.ts[0].period,
+                   static_cast<double>(static_cast<int>(
+                       r.minimal.ts[0].period)));
+  EXPECT_GT(r.accepted, 0);
+  EXPECT_GT(r.evaluations, r.accepted);
+}
+
+TEST(Shrink, MetadataSurvivesShrinking) {
+  const Property p = marker_property();
+  PropertyContext ctx;
+  const ShrinkResult r = shrink_case(fat_case(), p, ctx);
+  EXPECT_EQ(r.minimal.seed, 42u);
+  EXPECT_EQ(r.minimal.index, 9u);
+}
+
+TEST(Shrink, RespectsTheEvaluationBudget) {
+  const Property p = marker_property();
+  PropertyContext ctx;
+  ShrinkOptions opt;
+  opt.max_evaluations = 3;
+  const ShrinkResult r = shrink_case(fat_case(), p, ctx, opt);
+  EXPECT_LE(r.evaluations, 3);
+  // Whatever it managed, the result still fails.
+  EXPECT_EQ(p.run(r.minimal, ctx).verdict, Verdict::kFail);
+}
+
+TEST(Shrink, AlreadyMinimalCaseIsAFixedPoint) {
+  Case c;
+  c.ts = core::FtTaskSet({{"fat", 100.0, 100.0, 4.0, Dal::B, 1e-4}},
+                         {Dal::B, Dal::C});
+  const Property p = marker_property();
+  PropertyContext ctx;
+  const ShrinkResult r = shrink_case(c, p, ctx);
+  ASSERT_EQ(r.minimal.ts.size(), 1u);
+  // WCET 4.0 is exactly at the failure boundary: halving leaves the
+  // failing region, so the shrinker must keep it.
+  EXPECT_DOUBLE_EQ(r.minimal.ts[0].wcet, 4.0);
+}
+
+}  // namespace
+}  // namespace ftmc::check

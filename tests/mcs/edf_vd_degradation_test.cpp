@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "ftmc/common/contracts.hpp"
@@ -102,6 +103,67 @@ TEST_P(DegVsKill, DegradationNeverEasierThanKilling) {
 
 INSTANTIATE_TEST_SUITE_P(HiLoBudgets, DegVsKill,
                          ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5));
+
+TEST(EdfVdDegradation, ZeroLoUtilizationDropsTheResidualTerm) {
+  // u_lo_lo = 0: nothing to degrade, so Eq. (12) must reduce to
+  // max(u_hi_lo, u_hi_hi / (1 - x)) with no U_LO^LO / (df - 1) residue.
+  const double x = 0.2;  // u_hi_lo / (1 - 0)
+  EXPECT_NEAR(edf_vd_degradation_umc(0.0, 0.2, 0.6, 6.0),
+              std::max(0.2, 0.6 / (1.0 - x)), 1e-12);
+
+  // A HI-only task set exercises the same path end to end.
+  McTaskSet ts({{"h1", 100, 100, 10, 30, CritLevel::HI},
+                {"h2", 50, 50, 5, 15, CritLevel::HI}});
+  const auto a = analyze_edf_vd_degradation(ts, 6.0);
+  EXPECT_DOUBLE_EQ(a.u_lo_lo, 0.0);
+  EXPECT_TRUE(a.schedulable);
+  EXPECT_NEAR(a.u_mc, a.u_hi_hi / (1.0 - a.x), 1e-12);
+}
+
+TEST(EdfVdDegradation, UmcDivergesAsXApproachesOne) {
+  // x = u_hi_lo / (1 - u_lo_lo) -> 1-: the HI-mode term must diverge
+  // monotonically (and flip to the infinity sentinel at x >= 1) rather
+  // than go negative past the pole.
+  double prev = 0.0;
+  for (const double eps : {1e-1, 1e-2, 1e-4, 1e-8}) {
+    const double u_hi_lo = (1.0 - eps) * (1.0 - 0.3);  // x = 1 - eps
+    const double umc = edf_vd_degradation_umc(0.3, u_hi_lo, 0.1, 6.0);
+    EXPECT_GT(umc, prev) << "eps = " << eps;
+    EXPECT_TRUE(std::isfinite(umc)) << "eps = " << eps;
+    prev = umc;
+  }
+  EXPECT_EQ(edf_vd_degradation_umc(0.3, 0.7, 0.1, 6.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(EdfVdDegradation, SingleHiTaskSet) {
+  // One HI task: u_lo_lo = 0, x = u_hi_lo, and the verdict is decided by
+  // C(HI)/T alone. 30/100 LO budget, 80/100 HI budget: x = 0.3 and
+  // 0.8 / 0.7 > 1 -> unschedulable; with C(HI) = 60 it fits (6/7 < 1).
+  McTaskSet heavy({{"h", 100, 100, 30, 80, CritLevel::HI}});
+  const auto a = analyze_edf_vd_degradation(heavy, 2.0);
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_NEAR(a.u_mc, 0.8 / 0.7, 1e-12);
+
+  McTaskSet light({{"h", 100, 100, 30, 60, CritLevel::HI}});
+  EXPECT_TRUE(analyze_edf_vd_degradation(light, 2.0).schedulable);
+}
+
+TEST(EdfVdDegradation, SingleLoTaskSet) {
+  // One LO task: x = 0 and the HI-mode residue u_lo_lo / (df - 1)
+  // governs. u_lo_lo = 0.9, df = 1.5 -> residue 1.8 > 1: degrading too
+  // gently leaves the processor oversubscribed after the switch.
+  McTaskSet ts({{"l", 100, 100, 90, 90, CritLevel::LO}});
+  const auto gentle = analyze_edf_vd_degradation(ts, 1.5);
+  EXPECT_FALSE(gentle.schedulable);
+  EXPECT_NEAR(gentle.u_mc, 0.9 / 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(gentle.x, 0.0);
+
+  // df = 6: residue 0.18, LO mode 0.9 -> schedulable.
+  const auto strong = analyze_edf_vd_degradation(ts, 6.0);
+  EXPECT_TRUE(strong.schedulable);
+  EXPECT_NEAR(strong.u_mc, 0.9, 1e-12);
+}
 
 }  // namespace
 }  // namespace ftmc::mcs

@@ -97,5 +97,39 @@ TEST_P(SensitivityMonotone, MoreLoadLessHeadroom) {
 INSTANTIATE_TEST_SUITE_P(ExtraLoad, SensitivityMonotone,
                          ::testing::Values(1.0, 5.0, 10.0, 20.0, 40.0));
 
+TEST(Sensitivity, SingleTaskSetHasExactHeadroom) {
+  // One HI task, U_wc = 0.25: the EDF utilization test flips at exactly
+  // s = 4 (within the ceiling), independent of any LO-mode bookkeeping.
+  McTaskSet ts({{"only", 100, 100, 10, 25, CritLevel::HI}});
+  const ScalingResult r = max_wcet_scaling(ts, EdfWorstCaseTest{});
+  EXPECT_TRUE(r.schedulable_as_given);
+  EXPECT_NEAR(r.max_scaling, 4.0, 1e-3);
+}
+
+TEST(Sensitivity, ZeroLoUtilizationSetScalesOnHiTermsOnly) {
+  // No LO tasks at all: EDF-VD's U_MC reduces to
+  // max(u_hi_lo, u_hi_hi / (1 - x)) and the scaling search must not
+  // trip over u_lo_lo = 0 (x = u_hi_lo after scaling).
+  McTaskSet ts({{"h1", 100, 100, 5, 20, CritLevel::HI},
+                {"h2", 200, 200, 10, 40, CritLevel::HI}});
+  const ScalingResult r = max_wcet_scaling(ts, EdfVdTest{});
+  EXPECT_TRUE(r.schedulable_as_given);
+  EXPECT_GT(r.max_scaling, 1.0);
+  // The factor is finite and below the trivial worst-case ceiling
+  // 1 / u_hi_hi = 1 / 0.4 = 2.5.
+  EXPECT_LE(r.max_scaling, 2.5 + 1e-3);
+}
+
+TEST(Sensitivity, NearCriticalSetHasNoHeadroom) {
+  // x = u_hi_lo / (1 - u_lo_lo) -> 1: the EDF-VD denominator vanishes,
+  // so the accepted region ends essentially at s = 1. The search must
+  // converge to ~1 instead of oscillating or reporting the ceiling.
+  McTaskSet ts({{"h", 100, 100, 49.9, 50, CritLevel::HI},
+                {"l", 100, 100, 50, 50, CritLevel::LO}});
+  const ScalingResult r = max_wcet_scaling(ts, EdfVdTest{});
+  EXPECT_TRUE(r.schedulable_as_given);
+  EXPECT_NEAR(r.max_scaling, 1.0, 2e-3);
+}
+
 }  // namespace
 }  // namespace ftmc::mcs

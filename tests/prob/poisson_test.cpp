@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmc/prob/poisson.hpp"
+
+namespace ftmc::prob {
+namespace {
+
+TEST(GammaFunctions, PAndQAreComplements) {
+  for (const double a : {0.5, 1.0, 2.0, 7.5, 40.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 20.0, 80.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaFunctions, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(gamma_p(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(2, x) = 1 - (1 + x) exp(-x).
+  EXPECT_NEAR(gamma_p(2.0, 3.0), 1.0 - 4.0 * std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(gamma_p(0.5, 1e-12), 0.0, 1e-5);
+  EXPECT_NEAR(gamma_q(3.0, 50.0), 0.0, 1e-12);
+}
+
+TEST(PoissonInterval, ZeroCountUpperIsGarwood) {
+  // k = 0: lower must be exactly 0, upper solves exp(-mu) = 0.025,
+  // i.e. mu = -ln(0.025) = 3.68888.
+  const PoissonInterval ci = poisson_interval(0, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_NEAR(ci.upper, 3.68888, 1e-4);
+  EXPECT_GT(ci.upper, 0.0);  // the old +-0 band was vacuous here
+}
+
+TEST(PoissonInterval, TextbookValues) {
+  // Garwood exact 95% intervals (e.g. Ulm 1990 tables).
+  const PoissonInterval one = poisson_interval(1, 0.95);
+  EXPECT_NEAR(one.lower, 0.0253, 1e-3);
+  EXPECT_NEAR(one.upper, 5.5716, 1e-3);
+
+  const PoissonInterval ten = poisson_interval(10, 0.95);
+  EXPECT_NEAR(ten.lower, 4.7954, 1e-3);
+  EXPECT_NEAR(ten.upper, 18.3904, 1e-3);
+}
+
+TEST(PoissonInterval, ContainsTheObservationAndIsMonotone) {
+  double prev_lower = -1.0;
+  double prev_upper = -1.0;
+  for (const std::uint64_t k : {0ULL, 1ULL, 2ULL, 5ULL, 20ULL, 100ULL}) {
+    const PoissonInterval ci = poisson_interval(k, 0.95);
+    EXPECT_LE(ci.lower, static_cast<double>(k));
+    EXPECT_GE(ci.upper, static_cast<double>(k));
+    EXPECT_GT(ci.lower, prev_lower);
+    EXPECT_GT(ci.upper, prev_upper);
+    prev_lower = ci.lower;
+    prev_upper = ci.upper;
+  }
+}
+
+TEST(PoissonInterval, WiderConfidenceWidensTheInterval) {
+  const PoissonInterval p95 = poisson_interval(5, 0.95);
+  const PoissonInterval p99 = poisson_interval(5, 0.99);
+  EXPECT_LT(p99.lower, p95.lower);
+  EXPECT_GT(p99.upper, p95.upper);
+}
+
+}  // namespace
+}  // namespace ftmc::prob

@@ -1,0 +1,107 @@
+/// Property test: the log-domain probability helpers against a
+/// long-double reference implementation, over the full range the PFH
+/// analysis exercises (p down to 1e-45 from f^n with f = 1e-5, n = 9;
+/// trial counts r up to 1e6 job releases per hour).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::prob {
+namespace {
+
+/// 1 - (1-p)^r in long double. The complement must go through expm1:
+/// a literal 1 - exp(...) cancels catastrophically once r*p drops below
+/// the long-double epsilon (~1e-19) — the very failure mode the helpers
+/// under test exist to avoid.
+long double ref_failure(long double p, long double r) {
+  if (p >= 1.0L) return r == 0.0L ? 0.0L : 1.0L;
+  return -std::expm1(r * std::log1p(-p));
+}
+
+long double ref_log1mexp(long double x) {
+  return std::log(-std::expm1(x));
+}
+
+/// Relative difference against the reference, guarding tiny magnitudes.
+double rel_err(long double got, long double want) {
+  const long double scale =
+      std::max(std::abs(want), static_cast<long double>(1e-300));
+  return static_cast<double>(std::abs(got - want) / scale);
+}
+
+TEST(LogDomainReference, Log1mexpAcrossBothBranches) {
+  // The Maechler split at -ln 2 must agree with the long-double
+  // reference on both sides and at the seam.
+  std::mt19937_64 rng(20260806);
+  std::uniform_real_distribution<double> exponent(-40.0, -1e-12);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = -std::exp(exponent(rng));  // x in (-inf, 0)
+    const double got = log1mexp(x);
+    const long double want = ref_log1mexp(static_cast<long double>(x));
+    EXPECT_LT(rel_err(got, want), 1e-12) << "x=" << x;
+  }
+  // Seam and extremes.
+  for (const double x : {-0.6931471805599453, -1e-300, -745.0}) {
+    EXPECT_LT(rel_err(log1mexp(x), ref_log1mexp(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(LogDomainReference, SurvivalOverTheAnalysisRange) {
+  // p in [1e-45, 0.5] (log-uniform), r in [1, 1e6] (log-uniform):
+  // log_survival and its complement must track the long-double
+  // reference to near machine precision in *relative* terms, which is
+  // exactly what the PFH bounds need (the failure probability of
+  // interest is often ~1e-9 riding on a survival of ~1 - 1e-9).
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> log_p(std::log(1e-45),
+                                               std::log(0.5));
+  std::uniform_real_distribution<double> log_r(0.0, std::log(1e6));
+  for (int i = 0; i < 20'000; ++i) {
+    const double p = std::exp(log_p(rng));
+    const double r = std::floor(std::exp(log_r(rng)));
+
+    const double got_log = log_survival(p, r);
+    const long double want_log =
+        static_cast<long double>(r) *
+        std::log1p(-static_cast<long double>(p));
+    EXPECT_LT(rel_err(got_log, want_log), 1e-13)
+        << "p=" << p << " r=" << r;
+
+    const double got_fail = complement_from_log(got_log);
+    const long double want_fail = ref_failure(
+        static_cast<long double>(p), static_cast<long double>(r));
+    // Relative accuracy of the *small* failure probability is the whole
+    // point of the log-domain helpers; a few ulps over r ~ 1e6 trials.
+    EXPECT_LT(rel_err(got_fail, want_fail), 1e-13)
+        << "p=" << p << " r=" << r;
+    // An upper-tail sanity anchor: 1 - (1-p)^r <= r*p (Weierstrass).
+    EXPECT_LE(got_fail,
+              static_cast<double>(r) * p * (1.0 + 1e-12) + 1e-300);
+  }
+}
+
+TEST(LogDomainReference, PowProbMatchesLongDoubleReference) {
+  // p^n for per-attempt fault probabilities: p in [1e-5, 0.5], n up to 9
+  // (deepest re-execution profile the paper uses), plus the corners.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> log_p(std::log(1e-5),
+                                               std::log(0.5));
+  for (int i = 0; i < 5'000; ++i) {
+    const double p = std::exp(log_p(rng));
+    for (long long n = 0; n <= 9; ++n) {
+      const long double want =
+          std::pow(static_cast<long double>(p), static_cast<long double>(n));
+      EXPECT_LT(rel_err(pow_prob(p, n), want), 1e-12)
+          << "p=" << p << " n=" << n;
+    }
+  }
+  EXPECT_DOUBLE_EQ(pow_prob(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_prob(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(pow_prob(1.0, 1'000'000), 1.0);
+}
+
+}  // namespace
+}  // namespace ftmc::prob

@@ -140,6 +140,22 @@ TEST(ModeSwitch, ModeResetOnIdleReadmitsLoTasks) {
   EXPECT_GT(s.per_task[1].completed, 100u);
 }
 
+TEST(ModeSwitch, DegradationStretchesLoDeadlinesToo) {
+  // Degraded service relaxes both the LO rate AND the LO due date: a LO
+  // job in HI mode is due d_f * D after release (elastic model of [12],
+  // the semantics Eq. (12) analyzes), so a job that finishes after D but
+  // before d_f * D is on time, not a miss.
+  // Here: switch at t = 0 (n' = 0), the LO job needs 1500 ticks of
+  // service against an undegraded deadline of 1000 but a degraded one
+  // of 4000 -> zero misses.
+  Simulator sim({hi_task(10'000, 10, 3, 0, 0.0), lo_task(1'000, 1'500)},
+                config(mcs::AdaptationKind::kDegradation, 20'000, 4.0));
+  const SimStats s = sim.run();
+  ASSERT_EQ(s.mode_switches, 1u);
+  EXPECT_GE(s.per_task[1].completed, 1u);
+  EXPECT_EQ(s.per_task[1].deadline_misses, 0u);
+}
+
 TEST(ModeSwitch, LatchedModeWithoutResetOption) {
   SimConfig c = config(mcs::AdaptationKind::kKilling, 10'000'000);
   c.seed = 3;
