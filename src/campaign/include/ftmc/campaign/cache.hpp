@@ -1,0 +1,84 @@
+/// \file cache.hpp
+/// \brief Content-hashed answer caching, factored out of the campaign
+///        runner so other subsystems reuse the same design.
+///
+/// The cell-cache idea (PR 4): key a computation by the FNV-1a hash of
+/// its *canonical* input serialization — fixed key order, full number
+/// precision, result-irrelevant fields normalized out — so equal
+/// canonical bytes provably mean equal results, bit for bit. The
+/// campaign runner keys Monte-Carlo cells this way (journal replay);
+/// ftmc_serve keys admission-control answers the same way.
+///
+/// HashCache is the shared in-memory half: a thread-safe, insert-only
+/// map from content hash to value. Insert-only is deliberate — values
+/// are pure functions of their key, so an entry can never become stale,
+/// and eviction (when a capacity is set) simply declines new entries
+/// rather than invalidating old ones.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ftmc::campaign {
+
+/// FNV-1a 64-bit over bytes (the cache's content hash).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// fnv1a64 of the canonical bytes, rendered as 16 lowercase hex digits —
+/// the key format used by journals and caches throughout.
+[[nodiscard]] std::string content_hash(std::string_view canonical_bytes);
+
+/// Thread-safe content-hash keyed cache (see file comment). V must be
+/// copyable; lookups return copies so no reference escapes the lock.
+template <typename V>
+class HashCache {
+ public:
+  HashCache() = default;
+  /// `max_entries` caps the cache; 0 means unbounded. A full cache
+  /// declines inserts (correctness is unaffected — the value is simply
+  /// recomputed next time).
+  explicit HashCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  [[nodiscard]] std::optional<V> lookup(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts unless the key is present or the cache is full. Returns
+  /// true iff the value was stored. Concurrent inserts of the same key
+  /// are benign: both values derive from the same canonical bytes.
+  bool insert(const std::string& key, V value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (max_entries_ > 0 && map_.size() >= max_entries_ &&
+        map_.find(key) == map_.end()) {
+      return false;
+    }
+    return map_.emplace(key, std::move(value)).second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  std::size_t max_entries_ = 0;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, V> map_;
+};
+
+}  // namespace ftmc::campaign

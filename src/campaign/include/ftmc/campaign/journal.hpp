@@ -12,8 +12,16 @@
 ///    that provably completed;
 ///  - whole files that must never be seen half-written (spec.json,
 ///    results.json) go through write_file_atomic: write `<path>.tmp`,
-///    flush, then std::rename — POSIX renames within a directory are
-///    atomic, so readers observe either the old or the new content.
+///    fsync the file, std::rename, then fsync the directory — POSIX
+///    renames within a directory are atomic, so readers observe either
+///    the old or the new content, and the fsync pair makes the swap
+///    hold through power loss, not just process death (a bare
+///    flush+rename lets the rename reach disk before the data blocks).
+///
+/// Journal appends flush to the OS but are not fsynced per line: losing
+/// the tail of the journal to power loss only re-runs those cells on
+/// resume — it can never corrupt results, because records are keyed by
+/// content hash and merged deterministically.
 #pragma once
 
 #include <cstdint>

@@ -91,6 +91,18 @@ struct CampaignResult {
   std::string results_path;     ///< <dir>/results.json, empty in-memory
 };
 
+/// Concrete SchedulabilityTest instance for a scheduler. The EDF-VD
+/// family gets real test objects here (EdfVdTest / EdfVdDegradationTest
+/// with `degradation_factor`); used by callers that need an explicit
+/// test, e.g. sensitivity queries in ftmc_serve.
+[[nodiscard]] mcs::SchedulabilityTestPtr make_schedulability_test(
+    Scheduler scheduler, double degradation_factor);
+
+/// The technique handed to FtsConfig::test: null for the EDF-VD family
+/// (selects the built-in closed-form instantiations of Appendix B),
+/// a concrete test otherwise.
+[[nodiscard]] mcs::SchedulabilityTestPtr make_fts_test(Scheduler scheduler);
+
 /// Evaluates one cell: generates sets_per_point task sets from the
 /// cell's seed and counts acceptance with and without adaptation
 /// (Appendix C protocol: adaptation "is only adopted if the system is

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ftmc/campaign/cache.hpp"
 #include "ftmc/common/criticality.hpp"
 #include "ftmc/io/json.hpp"
 #include "ftmc/mcs/schedulability.hpp"
@@ -120,18 +121,8 @@ struct CellSpec {
 /// on it — so editing it re-runs only degradation cells).
 [[nodiscard]] std::string canonical_cell_json(const CellSpec& cell);
 
-/// FNV-1a 64-bit over bytes (the cache's content hash).
-[[nodiscard]] constexpr std::uint64_t fnv1a64(
-    std::string_view bytes) noexcept {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-/// Cache key of a cell: fnv1a64(canonical_cell_json) as 16 hex digits.
+/// Cache key of a cell: content_hash(canonical_cell_json) — 16 hex
+/// digits (fnv1a64 and content_hash moved to cache.hpp, included above).
 [[nodiscard]] std::string cell_hash(const CellSpec& cell);
 
 }  // namespace ftmc::campaign

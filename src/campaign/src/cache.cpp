@@ -1,0 +1,15 @@
+#include "ftmc/campaign/cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ftmc::campaign {
+
+std::string content_hash(std::string_view canonical_bytes) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
+                fnv1a64(canonical_bytes));
+  return buffer;
+}
+
+}  // namespace ftmc::campaign

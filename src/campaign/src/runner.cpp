@@ -3,12 +3,14 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "ftmc/campaign/cache.hpp"
 #include "ftmc/campaign/journal.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/exec/parallel.hpp"
 #include "ftmc/io/json.hpp"
+#include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/mcs/edf_vd_degradation.hpp"
 #include "ftmc/mcs/fixed_priority.hpp"
 #include "ftmc/mcs/mc_dbf.hpp"
 #include "ftmc/mcs/opa.hpp"
@@ -17,14 +19,13 @@
 
 namespace ftmc::campaign {
 
-namespace {
-
-/// FT-S technique instance for a scheduler. Null selects the built-in
-/// EDF-VD family (Algorithm 2 / Eq. 12), matching the fig3 benches.
-[[nodiscard]] mcs::SchedulabilityTestPtr make_test(Scheduler scheduler) {
+mcs::SchedulabilityTestPtr make_schedulability_test(
+    Scheduler scheduler, double degradation_factor) {
   switch (scheduler) {
     case Scheduler::kEdfVdKilling:
-    case Scheduler::kEdfVdDegradation: return nullptr;
+      return std::make_shared<mcs::EdfVdTest>();
+    case Scheduler::kEdfVdDegradation:
+      return std::make_shared<mcs::EdfVdDegradationTest>(degradation_factor);
     case Scheduler::kAmcRtb: return std::make_shared<mcs::AmcRtbTest>();
     case Scheduler::kAmcRtbOpa:
       return std::make_shared<mcs::AmcRtbOpaTest>();
@@ -32,6 +33,18 @@ namespace {
   }
   return nullptr;
 }
+
+mcs::SchedulabilityTestPtr make_fts_test(Scheduler scheduler) {
+  switch (scheduler) {
+    // Null selects the built-in EDF-VD family (Algorithm 2 / Eq. 12),
+    // matching the fig3 benches.
+    case Scheduler::kEdfVdKilling:
+    case Scheduler::kEdfVdDegradation: return nullptr;
+    default: return make_schedulability_test(scheduler, 0.0);
+  }
+}
+
+namespace {
 
 [[nodiscard]] taskgen::GeneratorParams generator_params(
     const CellSpec& cell) {
@@ -76,7 +89,7 @@ CellCounts run_cell(const CellSpec& cell) {
   fts.adaptation.degradation_factor = cell.degradation_factor;
   fts.adaptation.os_hours = cell.os_hours;
   fts.prefer_no_adaptation = true;
-  fts.test = make_test(cell.scheduler);
+  fts.test = make_fts_test(cell.scheduler);
 
   CellCounts counts;
   for (int i = 0; i < cell.sets_per_point; ++i) {
@@ -103,7 +116,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // Persistent mode: materialize the directory, echo the canonical spec
   // atomically, and replay the journal into the result cache.
   std::optional<Journal> journal;
-  std::unordered_map<std::string, CellCounts> cache;
+  HashCache<CellCounts> cache;
   if (!options.dir.empty()) {
     std::filesystem::create_directories(options.dir);
     write_file_atomic(options.dir + "/spec.json",
@@ -112,8 +125,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     Journal::LoadResult replay = Journal::load(journal_path);
     metrics.journal_bad_lines.inc(replay.bad_lines);
     for (CellRecord& record : replay.records) {
-      cache[record.hash] =
-          CellCounts{record.accept_without, record.accept_with};
+      // Later records win over earlier ones with the same hash; equal
+      // hashes imply equal counts, so insert-only is equivalent.
+      cache.insert(record.hash,
+                   CellCounts{record.accept_without, record.accept_with});
     }
     journal.emplace(journal_path);
   }
@@ -126,9 +141,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     CellOutcome& outcome = result.cells[cell.index];
     outcome.cell = cell;
     outcome.hash = cell_hash(cell);
-    const auto hit = cache.find(outcome.hash);
-    if (hit != cache.end()) {
-      outcome.counts = hit->second;
+    if (const auto hit = cache.lookup(outcome.hash)) {
+      outcome.counts = *hit;
       outcome.completed = true;
       outcome.from_cache = true;
       ++result.cache_hits;

@@ -290,10 +290,7 @@ std::string canonical_cell_json(const CellSpec& cell) {
 }
 
 std::string cell_hash(const CellSpec& cell) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
-                fnv1a64(canonical_cell_json(cell)));
-  return buffer;
+  return content_hash(canonical_cell_json(cell));
 }
 
 }  // namespace ftmc::campaign

@@ -98,8 +98,12 @@ class Value {
   std::vector<std::pair<std::string, Value>> fields_;
 };
 
-/// Parses one JSON document (recursive-descent, RFC 8259 subset: no
-/// \uXXXX surrogate pairs beyond the BMP). Trailing whitespace is
+/// Parses one JSON document (recursive-descent). Full RFC 8259 string
+/// escapes: \uXXXX surrogate pairs decode to UTF-8 (code points beyond
+/// the BMP included); lone or mis-paired surrogates are rejected with
+/// the byte offset of the offending escape. Number parsing is
+/// locale-independent (std::from_chars) — a host locale with a decimal
+/// comma cannot change what "1.5" means. Trailing whitespace is
 /// allowed, trailing garbage is not. Throws ftmc::io::ParseError with a
 /// byte offset on malformed input.
 [[nodiscard]] Value parse(std::string_view text);
@@ -110,6 +114,15 @@ namespace ftmc::io {
 
 /// The fault-tolerant task set, mapping included.
 [[nodiscard]] std::string task_set_to_json(const core::FtTaskSet& ts);
+
+/// Inverse of task_set_to_json: {"hi_dal","lo_dal","tasks":[...]} with
+/// per-task {"name","period_ms","wcet_ms"} plus optional "deadline_ms"
+/// (defaults to the period), "dal" (defaults to the LO level) and
+/// "failure_prob" (defaults to 0). The emitted "crit" field is derived
+/// and ignored on input; unknown keys are rejected so typos fail loudly.
+/// Throws ftmc::io::ParseError on malformed or semantically invalid
+/// input (the set is validated before it is returned).
+[[nodiscard]] core::FtTaskSet task_set_from_json(const json::Value& doc);
 
 /// A converted mixed-criticality task set.
 [[nodiscard]] std::string mc_task_set_to_json(const mcs::McTaskSet& ts);

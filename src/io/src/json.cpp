@@ -1,6 +1,7 @@
 #include "ftmc/io/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -354,7 +355,8 @@ class Parser {
     }
   }
 
-  [[nodiscard]] std::string parse_unicode_escape() {
+  /// The four hex digits of one \uXXXX escape (the "\u" is consumed).
+  [[nodiscard]] unsigned parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -370,18 +372,48 @@ class Parser {
         fail("bad \\u escape digit");
       }
     }
-    if (code >= 0xd800 && code <= 0xdfff) {
-      fail("surrogate \\u escapes are not supported");
+    return code;
+  }
+
+  /// One RFC 8259 \uXXXX escape, including UTF-16 surrogate pairs
+  /// (😀 decodes to U+1F600). Lone / mis-paired surrogates are
+  /// rejected with the byte offset of the offending escape's backslash.
+  [[nodiscard]] std::string parse_unicode_escape() {
+    const std::size_t escape_start = pos_ - 2;  // the '\' of "\uXXXX"
+    unsigned code = parse_hex4();
+    if (code >= 0xdc00 && code <= 0xdfff) {
+      pos_ = escape_start;
+      fail("lone low surrogate \\u escape");
     }
-    // UTF-8 encode the BMP code point.
+    if (code >= 0xd800 && code <= 0xdbff) {
+      // High surrogate: the next escape must be a low surrogate.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        pos_ = escape_start;
+        fail("unpaired high surrogate \\u escape");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xdc00 || low > 0xdfff) {
+        pos_ = escape_start;
+        fail("high surrogate not followed by a low surrogate");
+      }
+      code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+    }
+    // UTF-8 encode the code point (1..4 bytes).
     std::string out;
     if (code < 0x80) {
       out += static_cast<char>(code);
     } else if (code < 0x800) {
       out += static_cast<char>(0xc0 | (code >> 6));
       out += static_cast<char>(0x80 | (code & 0x3f));
-    } else {
+    } else if (code < 0x10000) {
       out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
       out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
       out += static_cast<char>(0x80 | (code & 0x3f));
     }
@@ -405,9 +437,17 @@ class Parser {
       fail("expected a value");
     }
     const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
+    // std::from_chars, not strtod: strtod obeys LC_NUMERIC, so a host
+    // locale with a decimal comma would misparse "1.5" as 1 (and then
+    // reject the token on the leftover ".5").
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      pos_ = start;
+      fail("number out of range \"" + token + "\"");
+    }
+    if (ec != std::errc{} || end != token.data() + token.size()) {
       pos_ = start;
       fail("malformed number \"" + token + "\"");
     }
@@ -447,6 +487,64 @@ std::string task_set_to_json(const core::FtTaskSet& ts) {
       .add_string("lo_dal", to_string(ts.mapping().lo))
       .add_raw("tasks", json::array(tasks))
       .str();
+}
+
+namespace {
+
+[[nodiscard]] Dal parse_dal_field(const json::Value& value,
+                                  std::string_view key) {
+  const auto dal = parse_dal(value.as_string());
+  if (!dal) {
+    throw ParseError("task set: unknown DAL \"" + value.as_string() +
+                     "\" for \"" + std::string(key) + "\"");
+  }
+  return *dal;
+}
+
+}  // namespace
+
+core::FtTaskSet task_set_from_json(const json::Value& doc) {
+  DualCriticalityMapping mapping;
+  mapping.hi = parse_dal_field(doc.at("hi_dal"), "hi_dal");
+  mapping.lo = parse_dal_field(doc.at("lo_dal"), "lo_dal");
+
+  std::vector<core::FtTask> tasks;
+  for (const json::Value& entry : doc.at("tasks").items()) {
+    core::FtTask task;
+    task.dal = mapping.lo;
+    bool saw_deadline = false;
+    for (const auto& [key, value] : entry.fields()) {
+      if (key == "name") {
+        task.name = value.as_string();
+      } else if (key == "period_ms") {
+        task.period = value.as_number();
+      } else if (key == "deadline_ms") {
+        task.deadline = value.as_number();
+        saw_deadline = true;
+      } else if (key == "wcet_ms") {
+        task.wcet = value.as_number();
+      } else if (key == "dal") {
+        task.dal = parse_dal_field(value, "dal");
+      } else if (key == "failure_prob") {
+        task.failure_prob = value.as_number();
+      } else if (key == "crit") {
+        // Derived from dal + mapping by the emitter; ignored on input.
+        (void)value.as_string();
+      } else {
+        throw ParseError("task set: unknown task key \"" + key + "\"");
+      }
+    }
+    if (!saw_deadline) task.deadline = task.period;
+    tasks.push_back(std::move(task));
+  }
+
+  core::FtTaskSet ts(std::move(tasks), mapping);
+  try {
+    ts.validate();
+  } catch (const ContractViolation& e) {
+    throw ParseError(std::string("invalid task set: ") + e.what());
+  }
+  return ts;
 }
 
 std::string mc_task_set_to_json(const mcs::McTaskSet& ts) {

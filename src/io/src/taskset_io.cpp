@@ -33,16 +33,22 @@ std::pair<std::string, std::string> split_kv(const std::string& token,
   return {token.substr(0, eq), token.substr(eq + 1)};
 }
 
+// std::from_chars, not std::stod: stod obeys LC_NUMERIC, so a host
+// locale with a decimal comma (de_DE, ...) would silently misparse
+// "1.5" as 1. from_chars is locale-independent by specification.
 double parse_number(const std::string& text, int line_no) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(text, &pos);
-    if (pos != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": number out of range '" + text + "'");
+  }
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
     throw ParseError("line " + std::to_string(line_no) +
                      ": malformed number '" + text + "'");
   }
+  return v;
 }
 
 Dal parse_dal_or_throw(const std::string& text, int line_no) {

@@ -1,0 +1,46 @@
+/// \file client.hpp
+/// \brief Minimal framed TCP client for ftmc_serve — one connection,
+///        blocking call() round trips.
+///
+/// Exists so the load generator, the tests and ad-hoc tooling share one
+/// correct implementation of the framing handshake instead of three
+/// copies of raw socket code. POSIX-only, like tcp.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ftmc/serve/protocol.hpp"
+
+namespace ftmc::serve {
+
+/// One client connection. Methods throw std::runtime_error on socket
+/// failure and FrameError on a framing violation in the response.
+class Client {
+ public:
+  /// Connects (throws on refusal/timeout).
+  Client(const std::string& host, std::uint16_t port,
+         std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Frames and sends one request document, blocks for one framed
+  /// response, returns its payload.
+  [[nodiscard]] std::string call(std::string_view request_json);
+
+  /// Sends raw bytes as-is (no framing) — the hook the protocol tests
+  /// use to inject malformed frames.
+  void send_raw(std::string_view bytes);
+
+  /// Blocks for one framed response (shared tail of call()). Throws on
+  /// EOF before a complete frame.
+  [[nodiscard]] std::string read_response();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace ftmc::serve

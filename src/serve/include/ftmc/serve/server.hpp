@@ -1,0 +1,97 @@
+/// \file server.hpp
+/// \brief The ftmc_serve request engine: admission-control analysis as
+///        a service.
+///
+/// The paper's FT-S analysis answers "can this fault-tolerant task set
+/// be admitted, and at what re-execution profile?"; this engine serves
+/// that question over batches. One request carries N independent
+/// queries; the server shards them across ftmc::exec, answers through a
+/// content-hashed answer cache (the campaign cell-cache design —
+/// cache.hpp), and exposes ftmc::obs metrics.
+///
+/// Determinism contract (tested): the "results" array of an analyze
+/// response is a pure function of the request — bit-identical to serial
+/// local analysis for every thread count, batch order and cache state.
+/// Only the response's `cache_hits` field reflects server state.
+///
+/// Transport-agnostic: handle() maps one request document to one
+/// response document. The TCP listener (tcp.hpp) and the --stdin
+/// one-shot mode are thin byte pumps around it. handle() is
+/// thread-safe — concurrent connections may call it simultaneously.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "ftmc/campaign/cache.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/serve/protocol.hpp"
+
+namespace ftmc::serve {
+
+/// Knobs of one server instance.
+struct ServerOptions {
+  /// Worker threads per analyze batch (exec convention: 1 = serial,
+  /// <= 0 = one per hardware thread). Never affects answers.
+  int threads = 1;
+  /// Answer-cache capacity in entries; 0 = unbounded. A full cache
+  /// declines new entries (answers are then recomputed, never wrong).
+  std::size_t cache_entries = 1u << 16;
+  /// Frame payload ceiling for the transports (see protocol.hpp).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Metric handles of the serve layer (registered in
+/// obs::Registry::global(); see docs/serving.md for the catalog).
+struct ServeMetrics {
+  obs::Counter requests_total;
+  obs::Counter queries_total;
+  obs::Counter cache_hits;
+  obs::Counter cache_misses;
+  obs::Counter request_errors;
+  obs::Counter query_errors;
+  obs::Histogram query_latency_us;
+  obs::Gauge cache_entries;
+
+  [[nodiscard]] static ServeMetrics global();
+};
+
+/// The request engine. See docs/serving.md for the JSON schema:
+///   {"type":"ping"}                 -> {"type":"pong"}
+///   {"type":"metrics"}              -> {"type":"metrics","metrics":{...}}
+///   {"type":"shutdown"}             -> {"type":"bye"} (+ shutdown flag)
+///   {"type":"analyze","queries":[...]}
+///     -> {"type":"result","count":N,"cache_hits":H,"results":[...]}
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Maps one request document to one response document. Never throws
+  /// on bad input: malformed requests answer {"type":"error",...},
+  /// malformed queries answer {"ok":false,...} in their result slot.
+  [[nodiscard]] std::string handle(std::string_view request_json);
+
+  /// True once a {"type":"shutdown"} request was handled; transports
+  /// poll this to stop accepting.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] std::string handle_analyze(std::string_view request_json);
+
+  ServerOptions options_;
+  campaign::HashCache<std::string> cache_;
+  ServeMetrics metrics_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace ftmc::serve

@@ -1,0 +1,84 @@
+/// \file tcp.hpp
+/// \brief Loopback/LAN TCP transport for the ftmc_serve engine.
+///
+/// One thread per connection, frames decoded incrementally
+/// (protocol.hpp), every complete payload handed to Server::handle and
+/// the response framed back. Connection policy:
+///  - a malformed *frame* (oversized length claim) answers one framed
+///    {"type":"error"} response and closes the connection — the byte
+///    stream is unrecoverable past that point;
+///  - a body truncated mid-frame at EOF is counted
+///    (serve.truncated_streams) and the connection closed;
+///  - a {"type":"shutdown"} request stops the accept loop after the
+///    response is written, so clients see their answer before the
+///    listener goes away.
+///
+/// POSIX-only (sockets); the engine itself (server.hpp) is portable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftmc/serve/server.hpp"
+
+namespace ftmc::serve {
+
+/// Listener knobs. Port 0 binds an ephemeral port — read the chosen one
+/// back with port() (the pattern tests and CI use).
+struct TcpOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;
+  int backlog = 64;
+};
+
+/// The accept loop. Construction binds and listens (throws
+/// std::runtime_error on failure); serve() blocks until stop() is
+/// called, a shutdown request arrives, or the listening socket dies.
+class TcpServer {
+ public:
+  TcpServer(Server& server, TcpOptions options);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Runs the accept loop on the calling thread; joins all connection
+  /// threads before returning. Destroy the listener only after serve()
+  /// has returned (stop() is the cross-thread way to make it return).
+  void serve();
+
+  /// Stops the accept loop from another thread or a signal handler
+  /// (only async-signal-safe calls). Idempotent.
+  void stop() noexcept;
+
+ private:
+  /// One connection thread plus its completion flag; finished threads
+  /// are reaped (joined) on the next accept so a long-lived daemon does
+  /// not accumulate zombie threads. The reaper owns the fd's close:
+  /// shutting it down is how a stopping listener wakes a handler
+  /// blocked in recv() on an idle connection.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    int fd = -1;
+  };
+
+  void handle_connection(int fd, std::atomic<bool>& done);
+  void reap_connections(bool join_all);
+
+  Server& server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;  // guards connections_
+  std::vector<Connection> connections_;
+};
+
+}  // namespace ftmc::serve

@@ -1,0 +1,85 @@
+#include "ftmc/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ftmc::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::size_t max_frame_bytes)
+    : decoder_(max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address \"" + host + "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_response() {
+  char buffer[64 * 1024];
+  while (true) {
+    if (auto payload = decoder_.next()) return *payload;
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      throw std::runtime_error(
+          "connection closed before a complete response frame");
+    }
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+std::string Client::call(std::string_view request_json) {
+  send_raw(encode_frame(request_json));
+  return read_response();
+}
+
+}  // namespace ftmc::serve

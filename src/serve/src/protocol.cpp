@@ -1,0 +1,42 @@
+#include "ftmc/serve/protocol.hpp"
+
+#include <limits>
+
+namespace ftmc::serve {
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw FrameError("frame payload of " + std::to_string(payload.size()) +
+                     " bytes exceeds the 32-bit length field");
+  }
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>((n >> 24) & 0xff);
+  out += static_cast<char>((n >> 16) & 0xff);
+  out += static_cast<char>((n >> 8) & 0xff);
+  out += static_cast<char>(n & 0xff);
+  out.append(payload);
+  return out;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length > max_frame_bytes_) {
+    throw FrameError("frame length " + std::to_string(length) +
+                     " exceeds the limit of " +
+                     std::to_string(max_frame_bytes_) + " bytes");
+  }
+  if (buffer_.size() < 4u + length) return std::nullopt;
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4u + length);
+  return payload;
+}
+
+}  // namespace ftmc::serve

@@ -1,0 +1,310 @@
+#include "ftmc/serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <vector>
+
+#include "ftmc/campaign/runner.hpp"
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/core/profiles.hpp"
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/mcs/sensitivity.hpp"
+
+namespace ftmc::serve {
+
+namespace {
+
+using io::json::Value;
+
+/// One parsed admission-control query (see docs/serving.md).
+struct Query {
+  core::FtTaskSet ts;
+  campaign::Scheduler scheduler = campaign::Scheduler::kEdfVdKilling;
+  double degradation_factor = 6.0;
+  double os_hours = 1.0;
+  bool prefer_no_adaptation = true;
+  std::string kind = "fts";  // "fts" | "sweep" | "sensitivity"
+  int n_adapt_max = -1;      // sweep ceiling; -1 = chosen n_HI
+};
+
+[[nodiscard]] Query parse_query(const Value& doc) {
+  Query q;
+  bool saw_task_set = false;
+  for (const auto& [key, value] : doc.fields()) {
+    if (key == "task_set") {
+      q.ts = io::task_set_from_json(value);
+      saw_task_set = true;
+    } else if (key == "query") {
+      q.kind = value.as_string();
+      if (q.kind != "fts" && q.kind != "sweep" && q.kind != "sensitivity") {
+        throw io::ParseError("unknown query kind \"" + q.kind + "\"");
+      }
+    } else if (key == "scheduler") {
+      const auto s = campaign::parse_scheduler(value.as_string());
+      if (!s) {
+        throw io::ParseError("unknown scheduler \"" + value.as_string() +
+                             "\"");
+      }
+      q.scheduler = *s;
+    } else if (key == "degradation_factor") {
+      q.degradation_factor = value.as_number();
+      if (!(q.degradation_factor > 1.0)) {
+        throw io::ParseError("degradation_factor must be > 1");
+      }
+    } else if (key == "os_hours") {
+      q.os_hours = value.as_number();
+      if (!(q.os_hours > 0.0)) {
+        throw io::ParseError("os_hours must be > 0");
+      }
+    } else if (key == "prefer_no_adaptation") {
+      q.prefer_no_adaptation = value.as_bool();
+    } else if (key == "n_adapt_max") {
+      q.n_adapt_max = static_cast<int>(value.as_uint64());
+    } else {
+      throw io::ParseError("unknown query key \"" + key + "\"");
+    }
+  }
+  if (!saw_task_set) throw io::ParseError("query is missing \"task_set\"");
+  return q;
+}
+
+/// Canonical form hashed for the answer cache: fixed key order, full
+/// number precision, result-irrelevant fields normalized out
+/// (degradation_factor is omitted for killing-family schedulers,
+/// n_adapt_max for non-sweep queries) — the campaign cell-cache design.
+[[nodiscard]] std::string canonical_query_json(const Query& q) {
+  io::json::Object out;
+  out.add_string("query", q.kind)
+      .add_string("scheduler", campaign::to_string(q.scheduler));
+  if (campaign::adaptation_of(q.scheduler) ==
+      mcs::AdaptationKind::kDegradation) {
+    out.add_number("degradation_factor", q.degradation_factor);
+  }
+  out.add_number("os_hours", q.os_hours)
+      .add_bool("prefer_no_adaptation", q.prefer_no_adaptation);
+  if (q.kind == "sweep") out.add_int("n_adapt_max", q.n_adapt_max);
+  out.add_raw("task_set", io::task_set_to_json(q.ts));
+  return out.str();
+}
+
+[[nodiscard]] core::FtsConfig fts_config(const Query& q) {
+  core::FtsConfig fts;
+  fts.adaptation.kind = campaign::adaptation_of(q.scheduler);
+  fts.adaptation.degradation_factor = q.degradation_factor;
+  fts.adaptation.os_hours = q.os_hours;
+  fts.prefer_no_adaptation = q.prefer_no_adaptation;
+  fts.test = campaign::make_fts_test(q.scheduler);
+  return fts;
+}
+
+[[nodiscard]] std::string answer_fts(const Query& q) {
+  const core::FtsResult result = core::ft_schedule(q.ts, fts_config(q));
+  return io::fts_result_to_json(result);
+}
+
+[[nodiscard]] std::string answer_sweep(const Query& q) {
+  const auto reqs = core::SafetyRequirements::do178b();
+  const auto n_hi = core::min_reexec_profile(q.ts, CritLevel::HI, reqs);
+  const auto n_lo = core::min_reexec_profile(q.ts, CritLevel::LO, reqs);
+  if (!n_hi || !n_lo) {
+    throw io::ParseError(
+        "no re-execution profile meets the plain PFH bounds");
+  }
+  core::AdaptationModel model;
+  model.kind = campaign::adaptation_of(q.scheduler);
+  model.degradation_factor = q.degradation_factor;
+  model.os_hours = q.os_hours;
+  const int n_adapt_max = q.n_adapt_max >= 0 ? q.n_adapt_max : *n_hi;
+  const auto points = core::sweep_adaptation(q.ts, *n_hi, *n_lo, model,
+                                             reqs, n_adapt_max);
+  return io::json::Object{}
+      .add_int("n_hi", *n_hi)
+      .add_int("n_lo", *n_lo)
+      .add_raw("points", io::sweep_to_json(points))
+      .str();
+}
+
+[[nodiscard]] std::string answer_sensitivity(const Query& q) {
+  const core::FtsResult result = core::ft_schedule(q.ts, fts_config(q));
+  io::json::Object out;
+  out.add_raw("fts", io::fts_result_to_json(result));
+  mcs::ScalingResult scaling;  // zeros when FT-S failed
+  if (result.success) {
+    const auto test = campaign::make_schedulability_test(
+        q.scheduler, q.degradation_factor);
+    scaling = mcs::max_wcet_scaling(result.converted, *test);
+  }
+  out.add_number("max_wcet_scaling", scaling.max_scaling)
+      .add_bool("schedulable_as_given", scaling.schedulable_as_given);
+  return out.str();
+}
+
+/// Computes one query's result slot. Exceptions become {"ok":false}
+/// items rather than batch failures: one bad query must not poison its
+/// neighbors (and parallel_for would cancel the region on a throw).
+[[nodiscard]] std::string answer_query(const Query& q) {
+  try {
+    std::string answer;
+    if (q.kind == "fts") {
+      answer = answer_fts(q);
+    } else if (q.kind == "sweep") {
+      answer = answer_sweep(q);
+    } else {
+      answer = answer_sensitivity(q);
+    }
+    return io::json::Object{}
+        .add_bool("ok", true)
+        .add_string("query", q.kind)
+        .add_raw("answer", answer)
+        .str();
+  } catch (const std::exception& e) {
+    return io::json::Object{}
+        .add_bool("ok", false)
+        .add_string("error", e.what())
+        .str();
+  }
+}
+
+[[nodiscard]] std::string error_item(std::string_view message) {
+  return io::json::Object{}
+      .add_bool("ok", false)
+      .add_string("error", message)
+      .str();
+}
+
+[[nodiscard]] std::string error_response(std::string_view message) {
+  return io::json::Object{}
+      .add_string("type", "error")
+      .add_string("error", message)
+      .str();
+}
+
+}  // namespace
+
+ServeMetrics ServeMetrics::global() {
+  obs::Registry& reg = obs::Registry::global();
+  return {reg.counter("serve.requests_total"),
+          reg.counter("serve.queries_total"),
+          reg.counter("serve.cache_hits"),
+          reg.counter("serve.cache_misses"),
+          reg.counter("serve.request_errors"),
+          reg.counter("serve.query_errors"),
+          reg.histogram("serve.query_latency_us"),
+          reg.gauge("serve.cache_entries")};
+}
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_entries),
+      metrics_(ServeMetrics::global()) {}
+
+std::string Server::handle(std::string_view request_json) {
+  metrics_.requests_total.inc();
+  std::string type;
+  try {
+    // The type probe parses the whole document once; analyze re-parses
+    // below. Requests are small relative to the analysis they trigger,
+    // and the double parse keeps this dispatch free of Value plumbing.
+    const Value doc = io::json::parse(request_json);
+    type = doc.at("type").as_string();
+  } catch (const std::exception& e) {
+    metrics_.request_errors.inc();
+    return error_response(e.what());
+  }
+  if (type == "ping") {
+    return io::json::Object{}.add_string("type", "pong").str();
+  }
+  if (type == "metrics") {
+    return io::json::Object{}
+        .add_string("type", "metrics")
+        .add_raw("metrics", obs::Registry::global().snapshot_json())
+        .str();
+  }
+  if (type == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    return io::json::Object{}.add_string("type", "bye").str();
+  }
+  if (type == "analyze") {
+    return handle_analyze(request_json);
+  }
+  metrics_.request_errors.inc();
+  return error_response("unknown request type \"" + type + "\"");
+}
+
+std::string Server::handle_analyze(std::string_view request_json) {
+  // Slot i holds query i's result item; filled from the cache or
+  // computed into place — order and content never depend on threads.
+  struct Slot {
+    std::optional<Query> query;  // parsed; empty on a parse error
+    std::string key;             // content hash of the canonical form
+    std::string item;            // final {"ok":...} result JSON
+  };
+  std::vector<Slot> slots;
+  std::size_t cache_hits = 0;
+  std::vector<std::size_t> pending;
+  try {
+    const Value doc = io::json::parse(request_json);
+    const auto& queries = doc.at("queries").items();
+    slots.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      metrics_.queries_total.inc();
+      try {
+        Query q = parse_query(queries[i]);
+        slots[i].key = campaign::content_hash(canonical_query_json(q));
+        if (auto hit = cache_.lookup(slots[i].key)) {
+          slots[i].item = std::move(*hit);
+          ++cache_hits;
+          metrics_.cache_hits.inc();
+        } else {
+          slots[i].query = std::move(q);
+          pending.push_back(i);
+          metrics_.cache_misses.inc();
+        }
+      } catch (const std::exception& e) {
+        slots[i].item = error_item(e.what());
+        metrics_.query_errors.inc();
+      }
+    }
+  } catch (const std::exception& e) {
+    metrics_.request_errors.inc();
+    return error_response(e.what());
+  }
+
+  exec::ParallelOptions par;
+  par.threads = options_.threads;
+  par.chunk_size = 1;  // one query = one FT-S analysis
+  par.phase = "serve";
+  exec::parallel_for(
+      pending.size(), par, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Slot& slot = slots[pending[i]];
+          const auto t0 = std::chrono::steady_clock::now();
+          slot.item = answer_query(*slot.query);
+          const double us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          metrics_.query_latency_us.observe(us);
+          if (slot.item.rfind("{\"ok\":false", 0) == 0) {
+            metrics_.query_errors.inc();
+          }
+          cache_.insert(slot.key, slot.item);
+        }
+      });
+  metrics_.cache_entries.set(static_cast<double>(cache_.size()));
+
+  std::vector<std::string> items;
+  items.reserve(slots.size());
+  for (Slot& slot : slots) items.push_back(std::move(slot.item));
+  return io::json::Object{}
+      .add_string("type", "result")
+      .add_int("count", static_cast<long long>(items.size()))
+      .add_int("cache_hits", static_cast<long long>(cache_hits))
+      .add_raw("results", io::json::array(items))
+      .str();
+}
+
+}  // namespace ftmc::serve

@@ -121,5 +121,35 @@ TEST_F(JournalTest, ReadFileThrowsOnMissingFile) {
   EXPECT_THROW((void)read_file(path("nope.json")), std::runtime_error);
 }
 
+TEST_F(JournalTest, AtomicWriteHandlesLargeAndBinaryPayloads) {
+  // The POSIX write loop must survive partial writes and NUL bytes.
+  std::string payload;
+  payload.reserve(5u << 20);
+  for (int i = 0; payload.size() < (5u << 20); ++i) {
+    payload += static_cast<char>(i & 0xff);
+  }
+  const std::string target = path("blob.bin");
+  write_file_atomic(target, payload);
+  EXPECT_EQ(read_file(target), payload);
+}
+
+TEST_F(JournalTest, AtomicWriteWorksForRelativePathsInCwd) {
+  // parent_dir("spec.json") must fsync "." — exercise the bare-filename
+  // branch of the directory-fsync path.
+  const fs::path previous = fs::current_path();
+  fs::current_path(dir_);
+  write_file_atomic("bare.json", "x");
+  EXPECT_EQ(read_file("bare.json"), "x");
+  fs::current_path(previous);
+}
+
+TEST_F(JournalTest, AtomicWriteFailsLoudlyOnMissingDirectory) {
+  // No silent data loss: an unreachable target throws instead of
+  // "succeeding" without a durable file.
+  EXPECT_THROW(
+      write_file_atomic(path("no/such/dir/spec.json"), "content"),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ftmc::campaign

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string_view>
+
 namespace ftmc::io {
 namespace {
 
@@ -63,6 +66,43 @@ TEST(JsonTaskSet, ContainsMappingAndTasks) {
             std::string::npos);
 }
 
+TEST(JsonTaskSet, RoundTripsThroughParser) {
+  const core::FtTaskSet original = example31();
+  const core::FtTaskSet parsed =
+      task_set_from_json(json::parse(task_set_to_json(original)));
+  // Emission is canonical: an exact round trip re-emits the same bytes
+  // (the property the serve answer cache keys on).
+  EXPECT_EQ(task_set_to_json(parsed), task_set_to_json(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, original[i].name);
+    EXPECT_EQ(parsed[i].period, original[i].period);
+    EXPECT_EQ(parsed[i].deadline, original[i].deadline);
+    EXPECT_EQ(parsed[i].wcet, original[i].wcet);
+    EXPECT_EQ(parsed[i].failure_prob, original[i].failure_prob);
+    EXPECT_EQ(parsed[i].dal, original[i].dal);
+  }
+}
+
+TEST(JsonTaskSet, FromJsonValidatesInput) {
+  EXPECT_THROW((void)task_set_from_json(json::parse("{}")), ParseError)
+      << "mapping is required";
+  EXPECT_THROW(
+      (void)task_set_from_json(json::parse(
+          "{\"hi_dal\":\"B\",\"lo_dal\":\"D\",\"tasks\":["
+          "{\"name\":\"t\",\"period_ms\":10,\"wcet_ms\":0,"
+          "\"dal\":\"B\",\"failure_prob\":1e-5}]}")),
+      ParseError)
+      << "zero wcet violates the task contract";
+  EXPECT_THROW(
+      (void)task_set_from_json(json::parse(
+          "{\"hi_dal\":\"B\",\"lo_dal\":\"D\",\"tasks\":["
+          "{\"name\":\"t\",\"period_ms\":10,\"wcet_ms\":1,"
+          "\"dal\":\"B\",\"failure_prob\":1e-5,\"extra\":1}]}")),
+      ParseError)
+      << "unknown task keys are rejected";
+}
+
 TEST(JsonFtsResult, SerializesVerdictAndProfiles) {
   core::FtsConfig cfg;
   cfg.adaptation.kind = mcs::AdaptationKind::kKilling;
@@ -118,11 +158,63 @@ TEST(JsonParse, RejectsMalformedDocuments) {
   EXPECT_THROW((void)json::parse("'single'"), ParseError);
   EXPECT_THROW((void)json::parse("{\"a\":1,\"a\":2}"), ParseError)
       << "duplicate keys are ambiguous and must be rejected";
-  EXPECT_THROW((void)json::parse("\"\\ud834\\udd1e\""), ParseError)
-      << "surrogate pairs beyond the BMP are out of scope";
   // Depth bomb: deeper than the parser's recursion limit.
   const std::string deep(200, '[');
   EXPECT_THROW((void)json::parse(deep), ParseError);
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8) {
+  // U+1D11E (musical G clef): high surrogate D834 + low surrogate DD1E.
+  EXPECT_EQ(json::parse("\"\\ud834\\udd1e\"").as_string(),
+            "\xf0\x9d\x84\x9e");
+  // U+1F600 (grinning face), the classic beyond-BMP regression.
+  EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Pairs compose with surrounding text and BMP escapes.
+  EXPECT_EQ(json::parse("\"a\\u0041\\ud83d\\ude00z\"").as_string(),
+            "aA\xf0\x9f\x98\x80z");
+}
+
+TEST(JsonParse, LoneSurrogatesAreRejectedWithOffsets) {
+  // Unpaired surrogate halves are not scalar values (RFC 8259 sec. 7 /
+  // Unicode D91); each rejection names the offending escape's offset.
+  const auto offset_of = [](std::string_view text) {
+    try {
+      (void)json::parse(text);
+    } catch (const ParseError& e) {
+      const std::string what = e.what();
+      const auto pos = what.find("offset ");
+      if (pos == std::string::npos) return std::size_t(-1);
+      return static_cast<std::size_t>(
+          std::atoll(what.c_str() + pos + 7));
+    }
+    return std::size_t(-2);  // did not throw
+  };
+  EXPECT_THROW((void)json::parse("\"\\udd1e\""), ParseError)
+      << "lone low surrogate";
+  EXPECT_THROW((void)json::parse("\"\\ud834\""), ParseError)
+      << "high surrogate at end of string";
+  EXPECT_THROW((void)json::parse("\"\\ud834x\""), ParseError)
+      << "high surrogate followed by a plain character";
+  EXPECT_THROW((void)json::parse("\"\\ud834\\u0041\""), ParseError)
+      << "high surrogate followed by a non-surrogate escape";
+  EXPECT_THROW((void)json::parse("\"\\ud834\\ud834\""), ParseError)
+      << "high surrogate followed by another high surrogate";
+  // The reported offset is the backslash of the bad escape, not the
+  // position the scanner had reached.
+  EXPECT_EQ(offset_of("\"\\udd1e\""), 1u);
+  EXPECT_EQ(offset_of("[1, \"x\\ud834\"]"), 6u);
+}
+
+TEST(JsonParse, OutOfRangeNumberLiteralsAreRejected) {
+  // Beyond-double literals are a parse error (explicit), not a silent
+  // saturation to infinity or zero as with strtod.
+  EXPECT_THROW((void)json::parse("1e400"), ParseError);
+  EXPECT_THROW((void)json::parse("-1e400"), ParseError);
+  EXPECT_THROW((void)json::parse("1e-400"), ParseError);  // underflow
+  // The largest finite double still parses.
+  EXPECT_DOUBLE_EQ(json::parse("1.7976931348623157e308").as_number(),
+                   1.7976931348623157e308);
 }
 
 TEST(JsonParse, NumberEmissionRoundTripsThroughParser) {

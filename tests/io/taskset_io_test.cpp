@@ -2,10 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
+#include <string>
+
+#include "ftmc/io/json.hpp"
 
 namespace ftmc::io {
 namespace {
+
+/// Switches LC_NUMERIC to a decimal-comma locale for one scope;
+/// GTEST_SKIP-compatible: locale_name() is empty when the host has no
+/// such locale installed (CI installs de_DE.UTF-8 explicitly).
+class DecimalCommaLocale {
+ public:
+  DecimalCommaLocale() {
+    const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+    previous_ = previous != nullptr ? previous : "C";
+    for (const char* candidate :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+          "fr_FR.utf8", "fr_FR"}) {
+      if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+        name_ = candidate;
+        return;
+      }
+    }
+  }
+  ~DecimalCommaLocale() {
+    std::setlocale(LC_NUMERIC, previous_.c_str());
+  }
+  [[nodiscard]] const std::string& locale_name() const { return name_; }
+
+ private:
+  std::string previous_;
+  std::string name_;
+};
 
 const char* kExample31 = R"(
 # Example 3.1 of the paper
@@ -106,6 +137,31 @@ TEST(TasksetIo, TaskWithoutNameRejected) {
 
 TEST(TasksetIo, MissingEqualsRejected) {
   EXPECT_THROW(parse_task_set_string("mapping HIB LO=C\n"), ParseError);
+}
+
+// Regression: number parsing used std::stod/strtod, which honor
+// LC_NUMERIC — under a decimal-comma locale "1.5" parsed as 1 with a
+// leftover ".5" (silently wrong periods and failure probabilities).
+// Both parsers now use std::from_chars, which is locale-independent.
+TEST(TasksetIo, NumbersAreLocaleIndependent) {
+  DecimalCommaLocale locale;
+  if (locale.locale_name().empty()) {
+    GTEST_SKIP() << "no decimal-comma locale installed on this host";
+  }
+  const auto ts = parse_task_set_string(
+      "mapping HI=B LO=C\ntask x T=1.5 C=0.25 dal=B f=1.25e-5\n");
+  EXPECT_DOUBLE_EQ(ts[0].period, 1.5);
+  EXPECT_DOUBLE_EQ(ts[0].wcet, 0.25);
+  EXPECT_DOUBLE_EQ(ts[0].failure_prob, 1.25e-5);
+}
+
+TEST(TasksetIo, JsonNumbersAreLocaleIndependent) {
+  DecimalCommaLocale locale;
+  if (locale.locale_name().empty()) {
+    GTEST_SKIP() << "no decimal-comma locale installed on this host";
+  }
+  EXPECT_DOUBLE_EQ(json::parse("1.5").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(json::parse("-2.25e-3").as_number(), -2.25e-3);
 }
 
 }  // namespace

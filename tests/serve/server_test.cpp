@@ -1,0 +1,277 @@
+/// \file server_test.cpp
+/// \brief Request-engine tests: schema handling, the answer cache, and
+///        the determinism contract (server answers are bit-identical to
+///        serial local analysis for every thread count / cache state).
+#include "ftmc/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ftmc/campaign/runner.hpp"
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/core/ft_scheduler.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::serve {
+namespace {
+
+/// A deterministic Appendix-C task set as JSON (the wire form).
+[[nodiscard]] std::string task_set_json(std::uint64_t seed,
+                                        double utilization = 0.4) {
+  taskgen::GeneratorParams params;
+  params.target_utilization = utilization;
+  taskgen::Rng rng(seed);
+  return io::task_set_to_json(taskgen::generate_task_set(params, rng));
+}
+
+[[nodiscard]] std::string fts_query(const std::string& task_set,
+                                    const std::string& scheduler =
+                                        "edf_vd_killing") {
+  return io::json::Object{}
+      .add_string("query", "fts")
+      .add_string("scheduler", scheduler)
+      .add_raw("task_set", task_set)
+      .str();
+}
+
+[[nodiscard]] std::string analyze_request(
+    const std::vector<std::string>& queries) {
+  return io::json::Object{}
+      .add_string("type", "analyze")
+      .add_raw("queries", io::json::array(queries))
+      .str();
+}
+
+/// The response from `"results":` to the end — the part the
+/// determinism contract covers (everything but count/cache_hits).
+[[nodiscard]] std::string results_slice(const std::string& response) {
+  const auto pos = response.find("\"results\":");
+  EXPECT_NE(pos, std::string::npos) << response;
+  return response.substr(pos);
+}
+
+TEST(Server, AnswersPing) {
+  Server server;
+  EXPECT_EQ(server.handle("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+}
+
+TEST(Server, MetricsRequestReturnsRegistrySnapshot) {
+  Server server;
+  const std::string response = server.handle("{\"type\":\"metrics\"}");
+  const auto doc = io::json::parse(response);
+  EXPECT_EQ(doc.at("type").as_string(), "metrics");
+  // The serve counters registered in the global registry must appear
+  // once obs is enabled; when disabled the snapshot is a valid
+  // (possibly empty) object either way — parseability is the contract.
+  (void)doc.at("metrics");
+}
+
+TEST(Server, ShutdownRequestSetsFlagAndAnswersBye) {
+  Server server;
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_EQ(server.handle("{\"type\":\"shutdown\"}"), "{\"type\":\"bye\"}");
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(Server, MalformedJsonAnswersErrorNotThrow) {
+  Server server;
+  const std::string response = server.handle("{\"type\":");
+  const auto doc = io::json::parse(response);
+  EXPECT_EQ(doc.at("type").as_string(), "error");
+}
+
+TEST(Server, UnknownTypeAnswersError) {
+  Server server;
+  const auto doc = io::json::parse(server.handle("{\"type\":\"launch\"}"));
+  EXPECT_EQ(doc.at("type").as_string(), "error");
+}
+
+TEST(Server, AnalyzeWithoutQueriesAnswersError) {
+  Server server;
+  const auto doc = io::json::parse(server.handle("{\"type\":\"analyze\"}"));
+  EXPECT_EQ(doc.at("type").as_string(), "error");
+}
+
+// The core property: a served FT-S answer is byte-for-byte the JSON of
+// the same analysis run locally. No server-side floating-point detour,
+// no reordering, no reformatting.
+TEST(Server, FtsAnswerIsBitIdenticalToLocalAnalysis) {
+  const std::string ts_json = task_set_json(7);
+  const core::FtTaskSet ts =
+      io::task_set_from_json(io::json::parse(ts_json));
+  core::FtsConfig config;
+  config.test = campaign::make_fts_test(campaign::Scheduler::kEdfVdKilling);
+  const std::string local =
+      io::fts_result_to_json(core::ft_schedule(ts, config));
+
+  Server server;
+  const std::string response =
+      server.handle(analyze_request({fts_query(ts_json)}));
+  const std::string expected_item = io::json::Object{}
+                                        .add_bool("ok", true)
+                                        .add_string("query", "fts")
+                                        .add_raw("answer", local)
+                                        .str();
+  const std::string expected = io::json::Object{}
+                                   .add_string("type", "result")
+                                   .add_int("count", 1)
+                                   .add_int("cache_hits", 0)
+                                   .add_raw("results",
+                                            io::json::array({expected_item}))
+                                   .str();
+  EXPECT_EQ(response, expected);
+}
+
+TEST(Server, ResultsAreIdenticalForEveryThreadCount) {
+  std::vector<std::string> queries;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    queries.push_back(
+        fts_query(task_set_json(seed, 0.3 + 0.05 * double(seed % 5))));
+  }
+  const std::string request = analyze_request(queries);
+
+  ServerOptions serial;
+  serial.threads = 1;
+  Server server_serial(serial);
+  ServerOptions wide;
+  wide.threads = 4;
+  Server server_wide(wide);
+  // Fresh servers, empty caches: the full responses (cache_hits
+  // included) must match byte for byte.
+  EXPECT_EQ(server_serial.handle(request), server_wide.handle(request));
+}
+
+TEST(Server, WarmCacheChangesOnlyCacheHits) {
+  std::vector<std::string> queries;
+  for (std::uint64_t seed = 20; seed <= 25; ++seed) {
+    queries.push_back(fts_query(task_set_json(seed)));
+  }
+  const std::string request = analyze_request(queries);
+  Server server;
+  const std::string cold = server.handle(request);
+  const std::string warm = server.handle(request);
+  EXPECT_EQ(io::json::parse(cold).at("cache_hits").as_uint64(), 0u);
+  EXPECT_EQ(io::json::parse(warm).at("cache_hits").as_uint64(),
+            queries.size());
+  // The determinism contract: the results array is a pure function of
+  // the request — cached answers are the same bytes as computed ones.
+  EXPECT_EQ(results_slice(cold), results_slice(warm));
+}
+
+TEST(Server, BadQueryDoesNotPoisonItsNeighbors) {
+  const std::string good = fts_query(task_set_json(3));
+  const std::string bad =
+      "{\"query\":\"fts\",\"scheduler\":\"round_robin\",\"task_set\":" +
+      task_set_json(3) + "}";
+  Server server;
+  const auto doc =
+      io::json::parse(server.handle(analyze_request({bad, good, bad})));
+  ASSERT_EQ(doc.at("type").as_string(), "result");
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].at("ok").as_bool());
+  EXPECT_TRUE(results[1].at("ok").as_bool());
+  EXPECT_FALSE(results[2].at("ok").as_bool());
+  EXPECT_NE(results[0].at("error").as_string().find("round_robin"),
+            std::string::npos);
+}
+
+TEST(Server, UnknownQueryKeyIsRejectedPerQuery) {
+  Server server;
+  const std::string query =
+      "{\"query\":\"fts\",\"bogus\":1,\"task_set\":" + task_set_json(3) +
+      "}";
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].at("ok").as_bool());
+}
+
+TEST(Server, SweepQueryAnswersProfilePoints) {
+  Server server;
+  const std::string query = io::json::Object{}
+                                .add_string("query", "sweep")
+                                .add_raw("task_set", task_set_json(5))
+                                .str();
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].at("ok").as_bool());
+  const auto& answer = results[0].at("answer");
+  EXPECT_GE(answer.at("n_hi").as_uint64(), 1u);
+  EXPECT_GE(answer.at("points").items().size(), 1u);
+}
+
+TEST(Server, SensitivityQueryAnswersScaling) {
+  Server server;
+  const std::string query =
+      io::json::Object{}
+          .add_string("query", "sensitivity")
+          .add_string("scheduler", "amc_rtb")
+          .add_raw("task_set", task_set_json(5, 0.3))
+          .str();
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].at("ok").as_bool());
+  const auto& answer = results[0].at("answer");
+  (void)answer.at("fts");
+  (void)answer.at("max_wcet_scaling").as_number();
+  (void)answer.at("schedulable_as_given").as_bool();
+}
+
+TEST(Server, DegradationFactorIsValidated) {
+  Server server;
+  const std::string query = io::json::Object{}
+                                .add_string("query", "fts")
+                                .add_string("scheduler",
+                                            "edf_vd_degradation")
+                                .add_number("degradation_factor", 0.5)
+                                .add_raw("task_set", task_set_json(5))
+                                .str();
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  EXPECT_FALSE(doc.at("results").items()[0].at("ok").as_bool());
+}
+
+// The cache key canonicalizes result-irrelevant fields away: for a
+// killing-family scheduler the degradation factor does not influence
+// the analysis, so two queries differing only there must share a cache
+// entry (second request = pure hits).
+TEST(Server, CacheKeyNormalizesIrrelevantDegradationFactor) {
+  const std::string ts = task_set_json(9);
+  auto query_with_df = [&](double df) {
+    return io::json::Object{}
+        .add_string("query", "fts")
+        .add_string("scheduler", "edf_vd_killing")
+        .add_number("degradation_factor", df)
+        .add_raw("task_set", ts)
+        .str();
+  };
+  Server server;
+  const auto first = io::json::parse(
+      server.handle(analyze_request({query_with_df(2.0)})));
+  const auto second = io::json::parse(
+      server.handle(analyze_request({query_with_df(8.0)})));
+  EXPECT_EQ(first.at("cache_hits").as_uint64(), 0u);
+  EXPECT_EQ(second.at("cache_hits").as_uint64(), 1u);
+}
+
+TEST(Server, BoundedCacheDeclinesButStaysCorrect) {
+  ServerOptions options;
+  options.cache_entries = 1;
+  Server server(options);
+  const std::string q1 = fts_query(task_set_json(31));
+  const std::string q2 = fts_query(task_set_json(32));
+  const std::string r1 = server.handle(analyze_request({q1}));
+  (void)server.handle(analyze_request({q2}));  // declined by the cache
+  // q2 is recomputed every time, q1 stays cached; answers never change.
+  const std::string r1_again = server.handle(analyze_request({q1}));
+  EXPECT_EQ(results_slice(r1), results_slice(r1_again));
+  EXPECT_EQ(io::json::parse(r1_again).at("cache_hits").as_uint64(), 1u);
+}
+
+}  // namespace
+}  // namespace ftmc::serve
