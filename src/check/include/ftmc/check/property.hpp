@@ -1,7 +1,7 @@
 /// \file property.hpp
 /// \brief The registry of executable properties the fuzzer checks.
 ///
-/// Three families, mirroring how the paper's claims can actually be
+/// Three paper-facing families, mirroring how the paper's claims can actually be
 /// falsified:
 ///  - analysis-vs-sim: a schedulability verdict is a *promise about
 ///    executions* — any accepted set must survive bounded simulation
@@ -14,6 +14,11 @@
 ///    relations that hold for the true probabilities — monotonicity in
 ///    the fault rate, anti-monotonicity in the re-execution budget,
 ///    invariance under uniform time rescaling, killing <= plain ordering.
+///
+/// A fourth family, trace-replay, checks the ftmc::rt extraction rather
+/// than the paper: the POSIX host and the simulator host must produce
+/// bit-identical event streams when driven with the same inputs (see
+/// replay.hpp).
 ///
 /// Every property is total on valid Cases: it returns kSkip when its
 /// precondition (e.g. "EDF-VD accepts") does not hold, so the shrinker
@@ -82,6 +87,7 @@ inline constexpr std::string_view kFamilyAnalysisVsSim = "analysis-vs-sim";
 inline constexpr std::string_view kFamilySufficientVsExact =
     "sufficient-vs-exact";
 inline constexpr std::string_view kFamilyPfhMetamorphic = "pfh-metamorphic";
+inline constexpr std::string_view kFamilyTraceReplay = "trace-replay";
 
 /// All registered properties, stable order (the order failures are
 /// reported in is part of the deterministic contract).

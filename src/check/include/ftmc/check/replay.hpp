@@ -1,0 +1,55 @@
+/// \file replay.hpp
+/// \brief Differential trace replay: POSIX host vs. simulator host.
+///
+/// Both hosts drive the same `ftmc::rt::Core`, and both derive all
+/// randomness from the same seeded mt19937_64 consumed in the same order
+/// (the core fixes the callback order). A PosixHost run is therefore
+/// fully determined by (tasks, config) — and replaying that configuration
+/// through the discrete-event simulator must yield the *identical* event
+/// stream. Any divergence means a host smuggled policy past the core.
+///
+/// This header is the shared implementation behind `ftmc_rtdemo --verify`
+/// and the `trace-replay` property family of ftmc_check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftmc/check/property.hpp"
+#include "ftmc/rt/posix_host.hpp"
+#include "ftmc/sim/model.hpp"
+
+namespace ftmc::check {
+
+/// Converts simulator tasks (the analysis-level build product of
+/// build_sim_tasks) into POSIX-host tasks. Lossless: both carry the same
+/// core parameters plus the host fault model.
+[[nodiscard]] std::vector<rt::PosixTask> posix_tasks_from_sim(
+    const std::vector<sim::SimTask>& tasks);
+
+/// Result of a differential replay.
+struct ReplayDiff {
+  bool identical = false;
+  std::size_t posix_events = 0;
+  std::size_t sim_events = 0;
+  /// Index of the first differing event (SIZE_MAX when identical).
+  std::size_t first_divergence = SIZE_MAX;
+  /// Human-readable description of the divergence; empty when identical.
+  std::string message;
+};
+
+/// Replays a PosixHost configuration through the simulator host — same
+/// tasks, same seed, same horizon, WCET execution, strictly periodic
+/// arrivals from the synchronous instant — and compares the two event
+/// streams field by field.
+[[nodiscard]] ReplayDiff replay_through_sim(
+    const std::vector<rt::PosixTask>& tasks, const rt::PosixHostConfig& config,
+    const std::vector<rt::Event>& posix_trace);
+
+/// The trace-replay property family (registered in all_properties()).
+Outcome p_replay_adversary_killing(const Case& c, const PropertyContext& ctx);
+Outcome p_replay_bernoulli_degradation(const Case& c,
+                                       const PropertyContext& ctx);
+Outcome p_replay_determinism(const Case& c, const PropertyContext& ctx);
+
+}  // namespace ftmc::check

@@ -1,5 +1,7 @@
 #include "ftmc/check/property.hpp"
 
+#include "ftmc/check/replay.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -501,6 +503,17 @@ constexpr Property kProperties[] = {
      "kill/degrade trigger probability obeys its union bound; survival "
      "monotone in profile, anti-monotone in time",
      &p_trigger_union_bound},
+    {"replay_adversary_killing", kFamilyTraceReplay,
+     "POSIX host trace replays bit-identically through the simulator "
+     "host (worst-case adversary, killing)",
+     &p_replay_adversary_killing},
+    {"replay_bernoulli_degradation", kFamilyTraceReplay,
+     "POSIX host trace replays bit-identically through the simulator "
+     "host (Bernoulli faults, degradation, idle mode reset)",
+     &p_replay_bernoulli_degradation},
+    {"replay_determinism", kFamilyTraceReplay,
+     "two seed-matched POSIX host runs produce identical event streams",
+     &p_replay_determinism},
 };
 
 }  // namespace

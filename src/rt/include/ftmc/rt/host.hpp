@@ -1,0 +1,68 @@
+/// \file host.hpp
+/// \brief The narrow interface between the runtime core and its host.
+///
+/// The core is passive: the host owns time (every core entry point takes
+/// `now`), arrival generation (the release event queue, timers, sporadic
+/// jitter) and all randomness (execution-time and fault sampling). The
+/// core owns every *decision*: who runs, virtual-deadline ordering, the
+/// criticality switch, re-execution, degradation and admission.
+///
+/// Contract highlights (see docs/runtime.md):
+///  - `now` must be non-decreasing across calls;
+///  - callbacks are invoked synchronously from core entry points, on the
+///    host's thread; the core is single-threaded by design;
+///  - the core performs no heap allocation after `Core::start()` (unless
+///    `CoreConfig::allow_job_growth` is set), so every callback may run in
+///    allocation-averse contexts.
+#pragma once
+
+#include <cstdint>
+
+#include "ftmc/rt/event.hpp"
+#include "ftmc/rt/types.hpp"
+
+namespace ftmc::rt {
+
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Duration of the next segment execution of `task` (the host's
+  /// execution-time model; a WCET host simply returns the segment WCET).
+  /// Called once per segment dispatch, in deterministic order.
+  [[nodiscard]] virtual Tick sample_segment_time(std::uint32_t task) = 0;
+
+  /// Outcome of the sanity check after a segment of `task` executed:
+  /// true = the segment faulted. `faults_so_far` is the job's fault count
+  /// before this attempt (deterministic adversaries key off it).
+  [[nodiscard]] virtual bool sample_fault(std::uint32_t task,
+                                          int faults_so_far) = 0;
+
+  /// Trace sink: every scheduling event, in order. Hosts build traces,
+  /// metrics and statistics from this stream.
+  virtual void emit(const Event& event) = 0;
+
+  /// The criticality mode changed (after the switch's own events were
+  /// emitted). Hosts that generate arrivals adjust pending releases here:
+  /// under kKilling entering HI suppresses future LO releases (and
+  /// leaving HI re-admits them); under kDegradation entering HI stretches
+  /// the *pending* next release of each LO task by (d_f - 1) * T.
+  virtual void on_mode_change(CritLevel mode, Tick now) {
+    (void)mode;
+    (void)now;
+  }
+
+  /// The processor switched jobs: `to_task`/`to_job` got the processor
+  /// (kNoTask = went idle). Real-time hosts hook actual context switches
+  /// here; simulation hosts usually ignore it (the kStart/kPreempt events
+  /// carry the same information).
+  static constexpr std::uint32_t kNoTask = UINT32_MAX;
+  virtual void on_context_switch(std::uint32_t to_task, std::uint64_t to_job,
+                                 Tick now) {
+    (void)to_task;
+    (void)to_job;
+    (void)now;
+  }
+};
+
+}  // namespace ftmc::rt

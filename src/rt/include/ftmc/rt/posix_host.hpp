@@ -1,0 +1,121 @@
+/// \file posix_host.hpp
+/// \brief Host #2 of the runtime core: a POSIX process executing the
+///        schedule in (scaled) real time.
+///
+/// The PosixHost drives the exact same `ftmc::rt::Core` the discrete-event
+/// simulator hosts, but advances through the schedule against the wall
+/// clock: every decision instant t is paced to
+/// `start + time_scale * t` with clock_nanosleep(CLOCK_MONOTONIC,
+/// TIMER_ABSTIME). Scheduling itself is driven by *logical* ticks — the
+/// wall clock only paces, never decides — so a run is deterministic for a
+/// given (task set, config, seed) and can be replayed bit-identically
+/// through the simulator host. That replay is the `trace-replay` property
+/// family of ftmc::check (see docs/runtime.md).
+///
+/// With `time_scale == 0` the host free-runs (no sleeping): this is the
+/// CI smoke mode, and also what the replay properties use.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ftmc/rt/core.hpp"
+#include "ftmc/rt/event.hpp"
+#include "ftmc/rt/host.hpp"
+#include "ftmc/rt/types.hpp"
+
+namespace ftmc::rt {
+
+/// One task as the POSIX host sees it: the core-level parameters plus the
+/// host-owned fault/checkpoint model and a display name.
+struct PosixTask {
+  TaskParams params;
+  double failure_prob = 0.0;        ///< per-attempt Bernoulli fault rate
+  double checkpoint_overhead = 0.0; ///< fraction of C per checkpoint save
+  std::string name;
+};
+
+/// How the host decides segment faults.
+enum class PosixFaultModel {
+  kNone,           ///< no faults ever (pure schedule demo)
+  kBernoulli,      ///< i.i.d. faults with probability f_i (seeded)
+  kExhaustBudget,  ///< deterministic worst-case adversary
+};
+
+struct PosixHostConfig {
+  /// Core policy configuration. Defaults keep the no-alloc contract
+  /// (allow_job_growth = false): a real-time host must not allocate on
+  /// the schedule path.
+  CoreConfig core;
+  Tick horizon = 1'000'000;  ///< logical ticks (us) to run, [0, horizon)
+  /// Wall seconds per simulated second. 1.0 = real time, 0.001 = 1000x
+  /// fast-forward, 0 = free-run without sleeping (CI smoke / replay).
+  double time_scale = 0.0;
+  std::uint64_t seed = 1;
+  PosixFaultModel fault_model = PosixFaultModel::kBernoulli;
+  /// Keep at most this many events (0 disables tracing).
+  std::size_t trace_capacity = 1 << 20;
+};
+
+/// Outcome of a PosixHost run: the event trace plus the core's counters
+/// and the host's time-domain measurements.
+struct PosixResult {
+  std::vector<Event> trace;
+  CoreCounters counters;
+  std::vector<TaskCounters> per_task;
+  Tick busy_time = 0;  ///< logical non-idle time
+  Tick horizon = 0;
+  double wall_seconds = 0.0;       ///< wall-clock duration of the run
+  /// Worst observed wall-clock drift behind the paced schedule (us);
+  /// 0 in free-run mode. Pacing quality, not schedule correctness: the
+  /// logical schedule is immune to drift by construction.
+  std::int64_t max_wall_lateness_us = 0;
+};
+
+/// The POSIX host. Construct, run once, inspect the result.
+class PosixHost final : private Host {
+ public:
+  PosixHost(std::vector<PosixTask> tasks, const PosixHostConfig& config);
+
+  /// Drives the core over [0, horizon). May be called once per instance.
+  PosixResult run();
+
+  [[nodiscard]] const std::vector<PosixTask>& tasks() const noexcept {
+    return tasks_;
+  }
+
+ private:
+  struct ReleaseEntry {
+    Tick time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tiebreak, mirrors the simulator's
+    std::uint32_t task = 0;
+  };
+
+  // Host interface (called by the core).
+  [[nodiscard]] Tick sample_segment_time(std::uint32_t task) override;
+  [[nodiscard]] bool sample_fault(std::uint32_t task,
+                                  int faults_so_far) override;
+  void emit(const Event& event) override;
+  void on_mode_change(CritLevel mode, Tick now) override;
+
+  void push_release(std::uint32_t task_index, Tick at);
+  void schedule_next_release(std::uint32_t task_index, Tick from);
+  void pace_to(Tick t);
+
+  std::vector<PosixTask> tasks_;
+  PosixHostConfig config_;
+  std::mt19937_64 rng_;
+  Core core_;
+
+  std::vector<ReleaseEntry> release_queue_;  // min-heap on (time, seq)
+  std::vector<Tick> next_release_;           // per task; kNever = suppressed
+  std::uint64_t event_seq_ = 0;
+  bool ran_ = false;
+
+  PosixResult result_;
+  std::int64_t wall_start_ns_ = 0;
+};
+
+}  // namespace ftmc::rt

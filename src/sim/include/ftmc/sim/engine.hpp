@@ -10,6 +10,15 @@
 ///    periods are stretched by d_f from their next arrival on;
 ///  - under EDF-VD, HI jobs are ordered by virtual deadline in LO mode and
 ///    by true deadline in HI mode.
+///
+/// Since the ftmc::rt extraction the simulator is a *host* of the
+/// freestanding runtime core (`ftmc::rt::Core`): it owns time (the
+/// discrete-event release queue), randomness (execution times, faults,
+/// sporadic jitter) and observation (trace, metrics, statistics), while
+/// every scheduling decision — who runs, virtual deadlines, the
+/// criticality switch, re-execution, degradation — is the core's.
+/// docs/runtime.md describes the split; the POSIX demo host
+/// (ftmc::rt::PosixHost) drives the identical core in real time.
 #pragma once
 
 #include <optional>
@@ -17,6 +26,7 @@
 
 #include "ftmc/mcs/schedulability.hpp"
 #include "ftmc/obs/registry.hpp"
+#include "ftmc/rt/core.hpp"
 #include "ftmc/sim/model.hpp"
 #include "ftmc/sim/stats.hpp"
 #include "ftmc/sim/trace.hpp"
@@ -70,8 +80,9 @@ struct SimConfig {
   obs::Registry* registry = nullptr;
 };
 
-/// The simulator. Construct, run once, inspect stats/trace.
-class Simulator {
+/// The simulator: host #1 of ftmc::rt::Core. Construct, run once,
+/// inspect stats/trace.
+class Simulator : private rt::Host {
  public:
   Simulator(std::vector<SimTask> tasks, SimConfig config);
 
@@ -99,17 +110,6 @@ class Simulator {
                                      CritLevel level) const;
 
  private:
-  struct Job {
-    std::uint32_t task = 0;
-    std::uint64_t id = 0;
-    Tick release = 0;
-    Tick abs_deadline = 0;
-    int faults = 0;         ///< segment faults so far (re-exec: failures)
-    int segments_done = 0;  ///< completed segments (re-exec: 0 until done)
-    Tick remaining = 0;     ///< remaining time of the current segment
-    bool alive = true;
-  };
-
   struct Event {
     Tick time = 0;
     std::uint64_t seq = 0;  ///< FIFO tiebreak for determinism
@@ -119,14 +119,16 @@ class Simulator {
     return a.time != b.time ? a.time > b.time : a.seq > b.seq;
   }
 
-  void release_job(std::uint32_t task_index, Tick now);
+  // rt::Host interface — the core calls back into the simulator for
+  // randomness and observation.
+  [[nodiscard]] Tick sample_segment_time(std::uint32_t task) override;
+  [[nodiscard]] bool sample_fault(std::uint32_t task,
+                                  int faults_so_far) override;
+  void emit(const rt::Event& event) override;
+  void on_mode_change(CritLevel mode, Tick now) override;
+
   void schedule_next_release(std::uint32_t task_index, Tick from);
-  [[nodiscard]] Tick sample_segment_time(const SimTask& task);
-  [[nodiscard]] Tick job_key(const Job& job, std::uint32_t task_index) const;
-  [[nodiscard]] std::size_t pick_ready_job() const;
-  void finish_segment(std::size_t job_slot, Tick now);
-  void enter_hi_mode(Tick now);
-  void maybe_reset_mode(Tick now);
+  void push_release(std::uint32_t task_index, Tick at);
   void record_slow(Tick time, TraceKind kind, std::uint32_t task,
                    std::uint64_t job, std::uint32_t detail);
   /// Hot-path event sink: a single byte test when neither tracing nor
@@ -144,15 +146,12 @@ class Simulator {
   SimConfig config_;
   std::mt19937_64 rng_;
 
-  // Run state.
-  std::vector<Job> jobs_;             // slot pool; dead slots recycled
-  std::vector<std::size_t> ready_;    // slots of ready/running jobs
-  std::vector<std::size_t> free_slots_;
+  // Run state (the host half: arrivals; the ready queue and mode live in
+  // the core).
+  std::optional<rt::Core> core_;
   std::vector<Event> release_queue_;  // min-heap on (time, seq)
   std::vector<Tick> next_release_;    // per task; kNever when suppressed
-  std::vector<std::uint64_t> next_job_id_;
   std::uint64_t event_seq_ = 0;
-  CritLevel mode_ = CritLevel::LO;
   bool ran_ = false;
 
   SimStats stats_;

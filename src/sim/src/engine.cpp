@@ -8,7 +8,65 @@
 namespace ftmc::sim {
 
 namespace {
-constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
+
+// The simulator's TraceKind and the core's EventKind mirror each other
+// one-to-one; the static_asserts pin the mapping the emit() cast relies on.
+static_assert(static_cast<int>(TraceKind::kRelease) ==
+              static_cast<int>(rt::EventKind::kRelease));
+static_assert(static_cast<int>(TraceKind::kStart) ==
+              static_cast<int>(rt::EventKind::kStart));
+static_assert(static_cast<int>(TraceKind::kPreempt) ==
+              static_cast<int>(rt::EventKind::kPreempt));
+static_assert(static_cast<int>(TraceKind::kAttemptFail) ==
+              static_cast<int>(rt::EventKind::kAttemptFail));
+static_assert(static_cast<int>(TraceKind::kComplete) ==
+              static_cast<int>(rt::EventKind::kComplete));
+static_assert(static_cast<int>(TraceKind::kJobFail) ==
+              static_cast<int>(rt::EventKind::kJobFail));
+static_assert(static_cast<int>(TraceKind::kDeadlineMiss) ==
+              static_cast<int>(rt::EventKind::kDeadlineMiss));
+static_assert(static_cast<int>(TraceKind::kModeSwitch) ==
+              static_cast<int>(rt::EventKind::kModeSwitch));
+static_assert(static_cast<int>(TraceKind::kModeReset) ==
+              static_cast<int>(rt::EventKind::kModeReset));
+static_assert(static_cast<int>(TraceKind::kKill) ==
+              static_cast<int>(rt::EventKind::kKill));
+
+rt::Policy to_rt(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kEdf: return rt::Policy::kEdf;
+    case PolicyKind::kEdfVd: return rt::Policy::kEdfVd;
+    case PolicyKind::kFixedPriority: return rt::Policy::kFixedPriority;
+  }
+  FTMC_ENSURES(false, "unreachable policy kind");
+  return rt::Policy::kEdf;
+}
+
+rt::Adaptation to_rt(mcs::AdaptationKind adaptation) {
+  switch (adaptation) {
+    case mcs::AdaptationKind::kNone: return rt::Adaptation::kNone;
+    case mcs::AdaptationKind::kKilling: return rt::Adaptation::kKilling;
+    case mcs::AdaptationKind::kDegradation:
+      return rt::Adaptation::kDegradation;
+  }
+  FTMC_ENSURES(false, "unreachable adaptation kind");
+  return rt::Adaptation::kNone;
+}
+
+rt::TaskParams to_params(const SimTask& task) {
+  rt::TaskParams p;
+  p.period = task.period;
+  p.deadline = task.deadline;
+  p.wcet = task.wcet;
+  p.virtual_deadline = task.virtual_deadline;
+  p.crit = task.crit;
+  p.max_attempts = task.max_attempts;
+  p.adapt_threshold = task.adapt_threshold;
+  p.priority = task.priority;
+  p.segments = task.segments;
+  return p;
+}
+
 }  // namespace
 
 Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
@@ -40,7 +98,21 @@ Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
   }
   stats_.per_task.resize(tasks_.size());
   next_release_.assign(tasks_.size(), 0);
-  next_job_id_.assign(tasks_.size(), 0);
+
+  // The scheduling core. The DES host opts into job-pool growth: an
+  // overloaded scenario may queue an unbounded ready backlog, and a
+  // simulator prefers completing the run over enforcing the embedded
+  // no-alloc contract.
+  rt::CoreConfig core_config;
+  core_config.policy = to_rt(config_.policy);
+  core_config.adaptation = to_rt(config_.adaptation);
+  core_config.degradation_factor = config_.degradation_factor;
+  core_config.mode_reset_on_idle = config_.mode_reset_on_idle;
+  core_config.max_jobs = 64;
+  core_config.allow_job_growth = true;
+  core_.emplace(core_config, static_cast<rt::Host&>(*this));
+  for (const SimTask& t : tasks_) core_->add_task(to_params(t));
+  core_->start();
 
   if (config_.registry != nullptr) {
     obs::Registry& reg = *config_.registry;
@@ -98,8 +170,8 @@ __attribute__((noinline, cold)) void Simulator::record_slow(
   }
 }
 
-Tick Simulator::sample_segment_time(const SimTask& task) {
-  const Tick nominal = task.segment_wcet();
+Tick Simulator::sample_segment_time(std::uint32_t task) {
+  const Tick nominal = tasks_[task].segment_wcet();
   if (config_.exec_model == ExecTimeModel::kAlwaysWcet) return nominal;
   std::uniform_real_distribution<double> dist(config_.exec_min_fraction, 1.0);
   const Tick t = static_cast<Tick>(dist(rng_) *
@@ -107,239 +179,76 @@ Tick Simulator::sample_segment_time(const SimTask& task) {
   return std::max<Tick>(t, 1);
 }
 
-Tick Simulator::job_key(const Job& job, std::uint32_t task_index) const {
-  const SimTask& task = tasks_[task_index];
-  switch (config_.policy) {
-    case PolicyKind::kEdf:
-      return job.abs_deadline;
-    case PolicyKind::kEdfVd:
-      // Virtual deadlines for HI jobs while in LO mode; true deadlines for
-      // everyone once the system has switched.
-      if (task.crit == CritLevel::HI && mode_ == CritLevel::LO) {
-        return job.release + task.virtual_deadline;
-      }
-      return job.abs_deadline;
-    case PolicyKind::kFixedPriority:
-      return static_cast<Tick>(task.priority);
+bool Simulator::sample_fault(std::uint32_t task, int faults_so_far) {
+  if (config_.fault_adversary == FaultAdversary::kExhaustBudget) {
+    // Worst-case adversary: fail every segment execution while the job
+    // still has retry budget left, succeed on the last permitted one.
+    return faults_so_far < tasks_[task].max_attempts - 1;
   }
-  FTMC_ENSURES(false, "unreachable policy kind");
-  return 0;
+  std::bernoulli_distribution fault(tasks_[task].segment_failure_prob());
+  return fault(rng_);
 }
 
-std::size_t Simulator::pick_ready_job() const {
-  std::size_t best = kNoJob;
-  Tick best_key = 0;
-  for (const std::size_t slot : ready_) {
-    const Job& job = jobs_[slot];
-    const Tick key = job_key(job, job.task);
-    if (best == kNoJob || key < best_key ||
-        (key == best_key &&
-         std::tie(job.release, job.task, job.id) <
-             std::tie(jobs_[best].release, jobs_[best].task,
-                      jobs_[best].id))) {
-      best = slot;
-      best_key = key;
+void Simulator::emit(const rt::Event& event) {
+  if (event.kind == rt::EventKind::kComplete && metrics_) {
+    metrics_->response_us[event.task].observe(
+        static_cast<double>(event.time - event.release));
+  }
+  record(event.time, static_cast<TraceKind>(event.kind), event.task,
+         event.job, event.detail);
+}
+
+void Simulator::push_release(std::uint32_t task_index, Tick at) {
+  next_release_[task_index] = at;
+  release_queue_.push_back({at, ++event_seq_, task_index});
+  std::push_heap(release_queue_.begin(), release_queue_.end(),
+                 [](const Event& a, const Event& b) { return a > b; });
+}
+
+void Simulator::on_mode_change(CritLevel mode, Tick now) {
+  if (mode == CritLevel::HI) {
+    if (config_.adaptation == mcs::AdaptationKind::kKilling) {
+      // Suppress future LO releases.
+      for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].crit == CritLevel::LO) next_release_[i] = kNever;
+      }
+    } else if (config_.adaptation == mcs::AdaptationKind::kDegradation) {
+      // Pending next releases are pushed out so that the inter-arrival
+      // from the *previous* release grows to d_f * T.
+      for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+        const SimTask& task = tasks_[i];
+        if (task.crit != CritLevel::LO || next_release_[i] == kNever) {
+          continue;
+        }
+        push_release(i, next_release_[i] +
+                            static_cast<Tick>(
+                                (config_.degradation_factor - 1.0) *
+                                static_cast<double>(task.period)));
+      }
+    }
+    return;
+  }
+  // HI -> LO reset at an idle instant.
+  if (config_.adaptation == mcs::AdaptationKind::kKilling) {
+    // Re-admit LO tasks from this idle instant on.
+    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].crit == CritLevel::LO && next_release_[i] == kNever) {
+        push_release(i, now);
+      }
     }
   }
-  return best;
 }
 
 void Simulator::schedule_next_release(std::uint32_t task_index, Tick from) {
-  const SimTask& task = tasks_[task_index];
-  double period = static_cast<double>(task.period);
-  if (task.crit == CritLevel::LO && mode_ == CritLevel::HI &&
-      config_.adaptation == mcs::AdaptationKind::kDegradation) {
-    period *= config_.degradation_factor;
-  }
+  // current_period() folds in the d_f stretch of LO tasks in HI mode.
+  const double period = core_->current_period(task_index);
   Tick gap = static_cast<Tick>(period);
   if (config_.sporadic_arrivals) {
     std::exponential_distribution<double> jitter(
         1.0 / (config_.jitter_fraction * period));
     gap += static_cast<Tick>(jitter(rng_));
   }
-  next_release_[task_index] = from + gap;
-  release_queue_.push_back({next_release_[task_index], ++event_seq_,
-                            task_index});
-  std::push_heap(release_queue_.begin(), release_queue_.end(),
-                 [](const Event& a, const Event& b) { return a > b; });
-}
-
-void Simulator::release_job(std::uint32_t task_index, Tick now) {
-  const SimTask& task = tasks_[task_index];
-  std::size_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = jobs_.size();
-    jobs_.emplace_back();
-  }
-  Job& job = jobs_[slot];
-  job = Job{};
-  job.task = task_index;
-  job.id = next_job_id_[task_index]++;
-  job.release = now;
-  // Degraded service (elastic model of [12]): LO deadlines stay implicit
-  // with respect to the *stretched* period, so a LO job released in HI
-  // mode is due d_f * D after release, not D.
-  Tick relative_deadline = task.deadline;
-  if (task.crit == CritLevel::LO && mode_ == CritLevel::HI &&
-      config_.adaptation == mcs::AdaptationKind::kDegradation) {
-    relative_deadline = static_cast<Tick>(
-        config_.degradation_factor * static_cast<double>(task.deadline));
-  }
-  job.abs_deadline = now + relative_deadline;
-  job.remaining = sample_segment_time(task);
-  job.alive = true;
-  ready_.push_back(slot);
-  ++stats_.per_task[task_index].released;
-  record(now, TraceKind::kRelease, task_index, job.id);
-
-  // An adaptation threshold of 0 means the trigger fires as soon as any HI
-  // job is about to execute at all (Sec. 3.3 allows n' = 0).
-  if (task.crit == CritLevel::HI && mode_ == CritLevel::LO &&
-      task.adapt_threshold == 0) {
-    enter_hi_mode(now);
-  }
-  schedule_next_release(task_index, now);
-}
-
-void Simulator::enter_hi_mode(Tick now) {
-  if (mode_ == CritLevel::HI) return;
-  mode_ = CritLevel::HI;
-  ++stats_.mode_switches;
-  if (stats_.first_mode_switch == kNever) stats_.first_mode_switch = now;
-  record(now, TraceKind::kModeSwitch, 0, 0);
-
-  if (config_.adaptation == mcs::AdaptationKind::kKilling) {
-    // Discard all current LO jobs and suppress future LO releases.
-    for (auto it = ready_.begin(); it != ready_.end();) {
-      Job& job = jobs_[*it];
-      if (tasks_[job.task].crit == CritLevel::LO) {
-        ++stats_.per_task[job.task].killed;
-        record(now, TraceKind::kKill, job.task, job.id);
-        job.alive = false;
-        free_slots_.push_back(*it);
-        it = ready_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].crit == CritLevel::LO) next_release_[i] = kNever;
-    }
-  } else if (config_.adaptation == mcs::AdaptationKind::kDegradation) {
-    // Already-released LO jobs keep running but adopt the degraded
-    // implicit deadline (release + d_f * D): the mode switch relaxes
-    // both their rate and their due date, matching the elastic service
-    // model of [12] that Eq. (12) analyzes.
-    for (const std::size_t slot : ready_) {
-      Job& job = jobs_[slot];
-      const SimTask& task = tasks_[job.task];
-      if (task.crit != CritLevel::LO) continue;
-      job.abs_deadline =
-          job.release + static_cast<Tick>(config_.degradation_factor *
-                                          static_cast<double>(task.deadline));
-    }
-    // Pending next releases are pushed out so that the inter-arrival
-    // from the *previous* release grows to d_f * T.
-    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
-      const SimTask& task = tasks_[i];
-      if (task.crit != CritLevel::LO || next_release_[i] == kNever) continue;
-      const Tick stretched =
-          next_release_[i] +
-          static_cast<Tick>((config_.degradation_factor - 1.0) *
-                            static_cast<double>(task.period));
-      next_release_[i] = stretched;
-      release_queue_.push_back({stretched, ++event_seq_, i});
-      std::push_heap(release_queue_.begin(), release_queue_.end(),
-                     [](const Event& a, const Event& b) { return a > b; });
-    }
-  }
-  // kNone: the mode switch has no effect on LO tasks (not used in
-  // practice; kept for completeness).
-}
-
-void Simulator::maybe_reset_mode(Tick now) {
-  if (!config_.mode_reset_on_idle || mode_ != CritLevel::HI) return;
-  mode_ = CritLevel::LO;
-  ++stats_.mode_resets;
-  record(now, TraceKind::kModeReset, 0, 0);
-  if (config_.adaptation == mcs::AdaptationKind::kKilling) {
-    // Re-admit LO tasks from this idle instant on.
-    for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].crit == CritLevel::LO && next_release_[i] == kNever) {
-        next_release_[i] = now;
-        release_queue_.push_back({now, ++event_seq_, i});
-        std::push_heap(release_queue_.begin(), release_queue_.end(),
-                       [](const Event& a, const Event& b) { return a > b; });
-      }
-    }
-  }
-}
-
-void Simulator::finish_segment(std::size_t job_slot, Tick now) {
-  Job& job = jobs_[job_slot];
-  const std::uint32_t task_index = job.task;
-  const SimTask& task = tasks_[task_index];
-  TaskStats& ts = stats_.per_task[task_index];
-  ++ts.attempts;  // one completed segment execution
-
-  bool faulted;
-  if (config_.fault_adversary == FaultAdversary::kExhaustBudget) {
-    // Worst-case adversary: fail every segment execution while the job
-    // still has retry budget left, succeed on the last permitted one.
-    faulted = job.faults < task.max_attempts - 1;
-  } else {
-    std::bernoulli_distribution fault(task.segment_failure_prob());
-    faulted = fault(rng_);
-  }
-  if (!faulted) {
-    // Sanity check passed for this segment.
-    ++job.segments_done;
-    if (job.segments_done < task.segments) {
-      job.remaining = sample_segment_time(task);
-      return;  // next segment; job keeps the processor slot
-    }
-    // All segments done: job complete.
-    ++ts.completed;
-    const Tick response = now - job.release;
-    ts.max_response = std::max(ts.max_response, response);
-    ts.total_response += response;
-    if (metrics_) {
-      metrics_->response_us[task_index].observe(
-          static_cast<double>(response));
-    }
-    if (now > job.abs_deadline) {
-      ++ts.deadline_misses;
-      record(now, TraceKind::kDeadlineMiss, task_index, job.id);
-    }
-    record(now, TraceKind::kComplete, task_index, job.id);
-  } else {
-    ++ts.faults;
-    ++job.faults;
-    record(now, TraceKind::kAttemptFail, task_index, job.id,
-           static_cast<std::uint32_t>(job.faults));
-    // max_attempts bounds the total faults a job may absorb: for full
-    // re-execution (segments == 1) this is the paper's "execute at most
-    // n_i times"; for checkpointing it is the retry budget R = n - 1.
-    if (job.faults < task.max_attempts) {
-      // The (n' + 1)-th execution of a HI job triggers the mode switch
-      // (Sec. 3.3), i.e. once adapt_threshold faults have accumulated.
-      if (task.crit == CritLevel::HI && mode_ == CritLevel::LO &&
-          job.faults >= task.adapt_threshold) {
-        enter_hi_mode(now);
-      }
-      job.remaining = sample_segment_time(task);
-      return;  // re-run the faulted segment
-    }
-    ++ts.job_failures;
-    record(now, TraceKind::kJobFail, task_index, job.id);
-  }
-  // Retire the job (success or exhausted attempts).
-  job.alive = false;
-  ready_.erase(std::find(ready_.begin(), ready_.end(), job_slot));
-  free_slots_.push_back(job_slot);
+  push_release(task_index, from + gap);
 }
 
 SimStats Simulator::run() {
@@ -364,7 +273,7 @@ SimStats Simulator::run() {
   std::make_heap(release_queue_.begin(), release_queue_.end(), heap_greater);
 
   Tick now = 0;
-  std::size_t running = kNoJob;
+  rt::Core& core = *core_;
 
   const auto pop_due_releases = [&](Tick time) {
     while (!release_queue_.empty() && release_queue_.front().time <= time) {
@@ -374,14 +283,15 @@ SimStats Simulator::run() {
       release_queue_.pop_back();
       // Stale entries (task postponed/suppressed since scheduling).
       if (next_release_[ev.task] != ev.time) continue;
-      release_job(ev.task, ev.time);
+      core.on_release(ev.task, ev.time);
+      schedule_next_release(ev.task, ev.time);
     }
   };
 
   while (now < config_.horizon) {
-    if (ready_.empty()) {
+    if (!core.has_ready()) {
       // Idle until the next release (if any within the horizon).
-      maybe_reset_mode(now);
+      core.on_idle(now);
       Tick next = kNever;
       while (!release_queue_.empty()) {
         const Event& top = release_queue_.front();
@@ -397,37 +307,43 @@ SimStats Simulator::run() {
       if (next == kNever || next >= config_.horizon) break;
       now = next;
       pop_due_releases(now);
-      running = kNoJob;
       continue;
     }
 
-    const std::size_t pick = pick_ready_job();
-    if (running != kNoJob && running != pick && jobs_[running].alive) {
-      ++stats_.preemptions;
-      record(now, TraceKind::kPreempt, jobs_[running].task,
-             jobs_[running].id);
-    }
-    if (running != pick) {
-      record(now, TraceKind::kStart, jobs_[pick].task, jobs_[pick].id,
-             static_cast<std::uint32_t>(jobs_[pick].faults + 1));
-    }
-    running = pick;
+    core.dispatch(now);
 
-    const Tick completion = now + jobs_[pick].remaining;
+    const Tick completion = now + core.running_remaining();
     Tick next_rel = kNever;
     if (!release_queue_.empty()) next_rel = release_queue_.front().time;
     const Tick until = std::min({completion, next_rel, config_.horizon});
 
     stats_.busy_time += until - now;
-    jobs_[pick].remaining -= until - now;
+    core.run_for(until - now);
     now = until;
     if (now >= config_.horizon) break;
 
-    if (jobs_[pick].remaining == 0) {
-      finish_segment(pick, now);
-      if (!jobs_[pick].alive) running = kNoJob;
-    }
+    if (core.running_remaining() == 0) core.on_segment_boundary(now);
     pop_due_releases(now);
+  }
+
+  // Fold the core's policy-level counters into the run statistics.
+  const rt::CoreCounters& cc = core.counters();
+  stats_.preemptions = cc.preemptions;
+  stats_.mode_switches = cc.mode_switches;
+  stats_.mode_resets = cc.mode_resets;
+  stats_.first_mode_switch = cc.first_mode_switch;
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+    const rt::TaskCounters& tc = core.task_counters(i);
+    TaskStats& ts = stats_.per_task[i];
+    ts.released = tc.released;
+    ts.completed = tc.completed;
+    ts.attempts = tc.attempts;
+    ts.faults = tc.faults;
+    ts.job_failures = tc.job_failures;
+    ts.killed = tc.killed;
+    ts.deadline_misses = tc.deadline_misses;
+    ts.max_response = tc.max_response;
+    ts.total_response = tc.total_response;
   }
   return stats_;
 }

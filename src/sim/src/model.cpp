@@ -5,21 +5,18 @@
 #include <numeric>
 
 #include "ftmc/common/contracts.hpp"
+#include "ftmc/rt/types.hpp"
 
 namespace ftmc::sim {
 
+// Both delegate to the ftmc::rt helpers: segment accounting must be
+// bit-identical across every host of the runtime core.
 double SimTask::segment_failure_prob() const {
-  if (segments == 1) return failure_prob;
-  if (failure_prob <= 0.0) return 0.0;
-  return -std::expm1(std::log1p(-failure_prob) /
-                     static_cast<double>(segments));
+  return rt::segment_failure_prob(failure_prob, segments);
 }
 
 Tick SimTask::segment_wcet() const {
-  if (segments == 1 && checkpoint_overhead == 0.0) return wcet;
-  const double piece = static_cast<double>(wcet) / segments;
-  const double save = checkpoint_overhead * static_cast<double>(wcet);
-  return std::max<Tick>(static_cast<Tick>(piece + save + 0.5), 1);
+  return rt::segment_wcet(wcet, segments, checkpoint_overhead);
 }
 
 std::vector<SimTask> build_sim_tasks(const core::FtTaskSet& ts,

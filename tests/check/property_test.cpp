@@ -23,11 +23,12 @@ TEST(PropertyRegistry, FamiliesAndNamesAreWellFormed) {
     families.insert(std::string(p.family));
     EXPECT_TRUE(p.family == kFamilyAnalysisVsSim ||
                 p.family == kFamilySufficientVsExact ||
-                p.family == kFamilyPfhMetamorphic)
+                p.family == kFamilyPfhMetamorphic ||
+                p.family == kFamilyTraceReplay)
         << p.name << " has unknown family " << p.family;
   }
-  // All three families are populated.
-  EXPECT_EQ(families.size(), 3u);
+  // All four families are populated.
+  EXPECT_EQ(families.size(), 4u);
   EXPECT_EQ(find_property("edf_vd_killing_vs_sim"),
             &props[0]);  // stable order: registry[0] is the EDF-VD oracle
   EXPECT_EQ(find_property("no-such-property"), nullptr);
