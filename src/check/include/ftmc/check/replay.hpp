@@ -18,6 +18,7 @@
 #include "ftmc/check/property.hpp"
 #include "ftmc/rt/posix_host.hpp"
 #include "ftmc/sim/model.hpp"
+#include "ftmc/sim/trace.hpp"
 
 namespace ftmc::check {
 
@@ -37,6 +38,15 @@ struct ReplayDiff {
   /// Human-readable description of the divergence; empty when identical.
   std::string message;
 };
+
+/// The simulator-host event stream equivalent to a PosixHost run of
+/// (tasks, config): same tasks, same seed, same horizon, WCET execution,
+/// strictly periodic arrivals from the synchronous instant. The trace is
+/// bounded by config.trace_capacity. This is the reference stream both
+/// replay_through_sim and the black-box replay compare against.
+[[nodiscard]] std::vector<sim::TraceEvent> replay_sim_trace(
+    const std::vector<rt::PosixTask>& tasks,
+    const rt::PosixHostConfig& config);
 
 /// Replays a PosixHost configuration through the simulator host — same
 /// tasks, same seed, same horizon, WCET execution, strictly periodic

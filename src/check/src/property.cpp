@@ -1,5 +1,6 @@
 #include "ftmc/check/property.hpp"
 
+#include "ftmc/check/blackbox.hpp"
 #include "ftmc/check/replay.hpp"
 
 #include <algorithm>
@@ -514,6 +515,10 @@ constexpr Property kProperties[] = {
     {"replay_determinism", kFamilyTraceReplay,
      "two seed-matched POSIX host runs produce identical event streams",
      &p_replay_determinism},
+    {"blackbox_replay", kFamilyTraceReplay,
+     "a flight-recorder dump (wrapped ring included) parses back and "
+     "replays record-for-record against the simulator host",
+     &p_blackbox_replay},
 };
 
 }  // namespace

@@ -67,9 +67,9 @@ std::vector<rt::PosixTask> posix_tasks_from_sim(
   return out;
 }
 
-ReplayDiff replay_through_sim(const std::vector<rt::PosixTask>& tasks,
-                              const rt::PosixHostConfig& config,
-                              const std::vector<rt::Event>& posix_trace) {
+std::vector<sim::TraceEvent> replay_sim_trace(
+    const std::vector<rt::PosixTask>& tasks,
+    const rt::PosixHostConfig& config) {
   // Reconstruct the equivalent simulator run: same tasks, same policy
   // knobs, same seed. WCET execution and strictly periodic synchronous
   // arrivals are what the POSIX host executes, so with the Bernoulli
@@ -110,7 +110,14 @@ ReplayDiff replay_through_sim(const std::vector<rt::PosixTask>& tasks,
 
   sim::Simulator simulator(std::move(sim_tasks), cfg);
   (void)simulator.run();
-  const std::vector<sim::TraceEvent>& sim_trace = simulator.trace();
+  return simulator.trace();
+}
+
+ReplayDiff replay_through_sim(const std::vector<rt::PosixTask>& tasks,
+                              const rt::PosixHostConfig& config,
+                              const std::vector<rt::Event>& posix_trace) {
+  const std::vector<sim::TraceEvent> sim_trace =
+      replay_sim_trace(tasks, config);
 
   ReplayDiff diff;
   diff.posix_events = posix_trace.size();

@@ -1,0 +1,42 @@
+/// \file exposition.hpp
+/// \brief Prometheus text exposition (version 0.0.4) of a registry
+///        snapshot.
+///
+/// The JSON snapshot (registry.hpp) is the repo's internal round-trip
+/// format; this writer is the *external* surface a scraper sees. It
+/// follows the exposition grammar strictly — and where the two formats
+/// disagree, Prometheus wins here:
+///  - metric names are sanitized into [a-zA-Z_:][a-zA-Z0-9_:]* (the
+///    registry's dots become underscores) and prefixed (default "ftmc_");
+///  - non-finite values are rendered `+Inf` / `-Inf` / `NaN`, never the
+///    JSON snapshot's `"inf"` strings;
+///  - histograms are exported with *cumulative* `_bucket{le="..."}`
+///    series including the implicit overflow bucket as `le="+Inf"`, plus
+///    `_sum` and `_count`.
+///
+/// `tools/expocheck.py` validates this output in CI; `ftmc_serve` emits
+/// it for the `expose` request and the `--obs-export` mode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ftmc/obs/registry.hpp"
+
+namespace ftmc::obs {
+
+/// `name` mangled into a valid Prometheus metric name: every character
+/// outside [a-zA-Z0-9_:] becomes '_', a leading digit gets a '_' prefix.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// A sample value in exposition syntax: `+Inf`, `-Inf`, `NaN`, or the
+/// shortest round-trip decimal via std::to_chars (locale-independent).
+[[nodiscard]] std::string prometheus_number(double value);
+
+/// Renders the whole snapshot in exposition format. Counters become
+/// `# TYPE <n> counter`, gauges `gauge`, histograms `histogram` with
+/// cumulative buckets. Metrics keep their snapshot (registration) order.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot,
+                                        std::string_view prefix = "ftmc_");
+
+}  // namespace ftmc::obs

@@ -1,0 +1,84 @@
+#include "ftmc/obs/exposition.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace ftmc::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
+  for (const char c : name) {
+    out.push_back(valid_name_char(c) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string to_prometheus(const Snapshot& snapshot, std::string_view prefix) {
+  std::string out;
+  const auto full = [&](const std::string& name) {
+    std::string n(prefix);
+    n += name;
+    return prometheus_name(n);
+  };
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = full(name);
+    out += "# TYPE " + n + " counter\n" + n + " ";
+    append_u64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = full(name);
+    out += "# TYPE " + n + " gauge\n" + n + " " + prometheus_number(value) +
+           "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string n = full(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += n + "_bucket{le=\"" + prometheus_number(h.bounds[i]) + "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    // The implicit overflow bucket: le="+Inf" must equal _count.
+    out += n + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += "\n" + n + "_sum " + prometheus_number(h.sum) + "\n" + n +
+           "_count ";
+    append_u64(out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ftmc::obs

@@ -5,22 +5,37 @@
 /// The demo builds the canonical FMS instance (paper Table 4), hosts the
 /// same scheduler core the discrete-event simulator hosts, paces the
 /// schedule against CLOCK_MONOTONIC, and can
-///  - export the trace in the simulator's CSV / Chrome JSON formats, and
-///  - verify itself: `--verify` replays the recorded run through the
-///    simulator host and fails if any event diverges (the trace-replay
-///    property, see docs/runtime.md).
+///  - export the trace in the simulator's CSV / Chrome JSON formats,
+///  - dump the core's flight recorder (`--dump-blackbox`, the
+///    ftmc-blackbox-v1 post-mortem format — docs/observability.md),
+///  - report run telemetry as BENCH_ftmc_rtdemo.json (`--telemetry`), and
+///  - verify itself: `--verify` replays the recorded run AND the
+///    flight-recorder dump through the simulator host and fails if any
+///    event diverges (the trace-replay properties, see docs/runtime.md).
+///
+/// SIGINT stops the run cleanly (the async-signal-safe request_stop
+/// path); everything above still happens for the truncated run, which
+/// replays as a prefix of the full schedule — exactly the crashed-target
+/// post-mortem workflow the flight recorder exists for.
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/experiment_util.hpp"
+#include "ftmc/check/blackbox.hpp"
 #include "ftmc/check/replay.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/fms/fms.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/rt/blackbox_io.hpp"
 #include "ftmc/rt/posix_host.hpp"
 #include "ftmc/sim/model.hpp"
 #include "ftmc/sim/trace.hpp"
@@ -41,8 +56,10 @@ struct Options {
   bool mode_reset = false;
   bool verify = false;
   bool quiet = false;
+  bool telemetry = false;
   std::string trace_out;
   std::string chrome_out;
+  std::string dump_blackbox;
 };
 
 void usage() {
@@ -60,8 +77,12 @@ void usage() {
       "  --mode-reset     return to LO mode at idle instants\n"
       "  --trace-out F    write the trace as CSV\n"
       "  --chrome-out F   write the trace as Chrome trace JSON\n"
-      "  --verify         replay the run through the simulator host and\n"
-      "                   exit non-zero if any event diverges\n"
+      "  --dump-blackbox F  write the core's flight recorder as a\n"
+      "                   ftmc-blackbox-v1 JSON dump\n"
+      "  --telemetry      write BENCH_ftmc_rtdemo.json (FTMC_BENCH_DIR)\n"
+      "  --verify         replay the run and the flight-recorder dump\n"
+      "                   through the simulator host; exit non-zero if\n"
+      "                   any event diverges\n"
       "  --quiet          suppress the run summary\n";
 }
 
@@ -98,10 +119,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.verify = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
     } else if (arg == "--trace-out") {
       opt.trace_out = value();
     } else if (arg == "--chrome-out") {
       opt.chrome_out = value();
+    } else if (arg == "--dump-blackbox") {
+      opt.dump_blackbox = value();
     } else {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -119,6 +144,14 @@ std::vector<ftmc::sim::TraceEvent> to_sim_trace(
                    e.job, e.detail});
   }
   return out;
+}
+
+// SIGINT path: the handler may only call the async-signal-safe
+// request_stop(); set before the handler is installed.
+ftmc::rt::PosixHost* g_host = nullptr;
+
+extern "C" void handle_sigint(int) {
+  if (g_host != nullptr) g_host->request_stop();
 }
 
 }  // namespace
@@ -176,9 +209,33 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.trace_capacity = 1 << 22;
+  // Generous ring for post-mortems; the dump stays replayable even when
+  // a long run wraps it (records carry their own sequence numbers).
+  cfg.core.black_box_capacity = 1 << 16;
+
+  // --telemetry: BENCH_ftmc_rtdemo.json via the bench reporting path.
+  // The report constructor enables the global registry, so the
+  // context-switch metrics below are live exactly when requested.
+  std::optional<ftmc::bench::BenchReport> report;
+  if (opt.telemetry) report.emplace("ftmc_rtdemo", argc, argv);
 
   rt::PosixHost host(tasks, cfg);
+  g_host = &host;
+  std::signal(SIGINT, handle_sigint);
   const rt::PosixResult result = host.run();
+  std::signal(SIGINT, SIG_DFL);
+  g_host = nullptr;
+
+  // Host::on_context_switch feeds the runtime-layer metrics: how often
+  // the processor actually switched jobs, and how late pacing delivered
+  // each switch relative to the schedule's ideal instant.
+  ftmc::obs::Registry& registry = ftmc::obs::Registry::global();
+  registry.counter("rt.context_switches").inc(result.context_switches);
+  ftmc::obs::Histogram switch_lateness =
+      registry.histogram("rt.switch_lateness_us");
+  for (const std::int64_t us : result.switch_lateness_us) {
+    switch_lateness.observe(static_cast<double>(us));
+  }
 
   std::vector<std::string> names;
   names.reserve(tasks.size());
@@ -197,9 +254,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n  events " << result.trace.size() << ", busy "
               << result.busy_time << " us, preemptions "
-              << result.counters.preemptions << ", mode switches "
+              << result.counters.preemptions << ", context switches "
+              << result.context_switches << ", mode switches "
               << result.counters.mode_switches << " (resets "
-              << result.counters.mode_resets << ")\n";
+              << result.counters.mode_resets << ")\n"
+              << "  black box " << result.blackbox.size() << " of "
+              << result.blackbox_total << " records kept ("
+              << result.blackbox_admissions << " admission verdicts)\n";
     std::uint64_t misses = 0, failures = 0, completed = 0;
     for (const rt::TaskCounters& tc : result.per_task) {
       misses += tc.deadline_misses;
@@ -226,6 +287,30 @@ int main(int argc, char** argv) {
     }
     sim::write_trace_chrome_json(os, to_sim_trace(result.trace), names);
   }
+  if (!opt.dump_blackbox.empty()) {
+    std::ofstream os(opt.dump_blackbox);
+    if (!os) {
+      std::cerr << "cannot open " << opt.dump_blackbox << "\n";
+      return 1;
+    }
+    rt::write_blackbox_json(os, tasks, cfg, result);
+  }
+
+  if (report) {
+    report->set_items(static_cast<double>(result.trace.size()), "events");
+    report->note_number("context_switches",
+                        static_cast<double>(result.context_switches));
+    report->note_number("preemptions",
+                        static_cast<double>(result.counters.preemptions));
+    report->note_number("mode_switches",
+                        static_cast<double>(result.counters.mode_switches));
+    report->note_number("blackbox_records",
+                        static_cast<double>(result.blackbox.size()));
+    report->note_number("blackbox_total",
+                        static_cast<double>(result.blackbox_total));
+    report->note_number("max_wall_lateness_us",
+                        static_cast<double>(result.max_wall_lateness_us));
+  }
 
   if (opt.verify) {
     const check::ReplayDiff diff =
@@ -234,9 +319,22 @@ int main(int argc, char** argv) {
       std::cerr << "REPLAY DIVERGENCE: " << diff.message << "\n";
       return 1;
     }
+    // Round-trip the flight recorder through its serialized form and the
+    // simulator — the exact pipeline a post-mortem of this binary uses.
+    std::ostringstream dump_text;
+    rt::write_blackbox_json(dump_text, tasks, cfg, result);
+    const check::BlackBoxDump dump =
+        check::parse_blackbox_json(dump_text.str());
+    const check::ReplayDiff bb_diff = check::replay_blackbox_through_sim(dump);
+    if (!bb_diff.identical) {
+      std::cerr << "BLACK-BOX DIVERGENCE: " << bb_diff.message << "\n";
+      return 1;
+    }
     if (!opt.quiet) {
       std::cout << "  replay: " << diff.posix_events
-                << " events bit-identical through the simulator host\n";
+                << " events bit-identical through the simulator host\n"
+                << "  replay: " << dump.records.size()
+                << " flight-recorder records match the simulator stream\n";
     }
   }
   return 0;

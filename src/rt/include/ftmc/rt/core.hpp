@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ftmc/rt/event.hpp"
+#include "ftmc/rt/flight_recorder.hpp"
 #include "ftmc/rt/host.hpp"
 #include "ftmc/rt/types.hpp"
 
@@ -55,6 +56,11 @@ struct CoreConfig {
   /// no-alloc contract and exists for the DES host, where an overloaded
   /// scenario may queue an unbounded backlog.
   bool allow_job_growth = false;
+  /// Entries in the always-on black-box flight recorder (see
+  /// flight_recorder.hpp). Storage is allocated in the Core constructor —
+  /// before the no-alloc window opens at start() — and recording into it
+  /// never allocates. 0 disables storage (records are still counted).
+  std::size_t black_box_capacity = 256;
 };
 
 /// The runtime core. Lifecycle: construct -> add_task()* -> start() ->
@@ -136,6 +142,19 @@ class Core {
     return task_counters_[index];
   }
 
+  /// The always-on black box. Its record stream is: one kAdmit/kReject per
+  /// add_task call (in call order), then every event published to the
+  /// host, in publication order — so a scheduling record with sequence
+  /// number `seq` corresponds to host event `seq - black_box_admissions()`,
+  /// the alignment `ftmc::check` replays dumps by.
+  [[nodiscard]] const FlightRecorder& black_box() const noexcept {
+    return black_box_;
+  }
+  /// Admission records (kAdmit + kReject) at the head of the record stream.
+  [[nodiscard]] std::uint64_t black_box_admissions() const noexcept {
+    return black_box_admissions_;
+  }
+
   // -- the documented ready-queue order ---------------------------------
 
   /// Priority key of the job in `slot`: its absolute virtual deadline
@@ -167,6 +186,8 @@ class Core {
 
   void enter_hi_mode(Tick now);
   void retire(std::size_t slot);
+  /// Records `e` into the black box, then forwards it to the host.
+  void publish(const Event& e);
   [[nodiscard]] std::size_t pick_ready_job() const;
   [[nodiscard]] Admission admission_check(const TaskParams& candidate) const;
 
@@ -181,6 +202,8 @@ class Core {
   std::vector<std::uint64_t> next_job_id_;  // per task
   std::vector<TaskCounters> task_counters_;
   CoreCounters counters_;
+  FlightRecorder black_box_;
+  std::uint64_t black_box_admissions_ = 0;
   std::size_t running_ = kIdle;
   CritLevel mode_ = CritLevel::LO;
   bool started_ = false;

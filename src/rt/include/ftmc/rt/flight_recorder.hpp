@@ -1,0 +1,125 @@
+/// \file flight_recorder.hpp
+/// \brief Avionics-style black box: a fixed-capacity, allocation-free ring
+///        of the core's most recent scheduling decisions.
+///
+/// Every event the core publishes to its host — and every admission verdict
+/// taken before start() — is also written into this ring, unconditionally.
+/// Recording is a handful of stores into pre-allocated storage (no branch
+/// on an enable flag, no locking: the core is single-threaded by contract),
+/// so the black box is always on, like a flight recorder. When the ring is
+/// full the oldest records are overwritten; each record carries its global
+/// sequence number, so a post-mortem consumer can tell exactly how much
+/// history was lost and where the surviving tail starts.
+///
+/// The dump format and the event-for-event replay of a dump through the
+/// DES simulator live in blackbox_io.hpp / ftmc::check — the recorder
+/// itself stays freestanding (no iostream, no allocation after
+/// construction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ftmc/rt/types.hpp"
+
+namespace ftmc::rt {
+
+/// What a black-box record describes. Values 0–9 mirror `EventKind`
+/// one-to-one (static_asserted in core.cpp); kAdmit/kReject extend the set
+/// with the pre-start admission verdicts, which never appear in the host
+/// event stream.
+enum class RecordKind : std::uint8_t {
+  kRelease = 0,
+  kStart = 1,
+  kPreempt = 2,
+  kAttemptFail = 3,
+  kComplete = 4,
+  kJobFail = 5,
+  kDeadlineMiss = 6,
+  kModeSwitch = 7,
+  kModeReset = 8,
+  kKill = 9,
+  kAdmit = 10,
+  kReject = 11,
+};
+
+/// Stable dump name of `kind` ("release", "admit", ...).
+[[nodiscard]] const char* to_string(RecordKind kind) noexcept;
+
+/// Inverse of to_string; false when `name` is not a record kind.
+[[nodiscard]] bool record_kind_from_string(const char* name,
+                                           RecordKind& out) noexcept;
+
+/// One black-box entry. For scheduling records the fields mirror `Event`;
+/// for kAdmit/kReject, `task` is the candidate's index in add_task order,
+/// `time` is 0 and the remaining fields are unused.
+struct BlackBoxRecord {
+  std::uint64_t seq = 0;  ///< global record index (0-based, never wraps)
+  Tick time = 0;
+  RecordKind kind = RecordKind::kRelease;
+  std::uint32_t task = 0;
+  std::uint64_t job = 0;
+  std::uint32_t detail = 0;
+  Tick release = 0;
+  Tick abs_deadline = 0;
+};
+
+/// The ring itself. All storage is allocated in the constructor; record()
+/// never allocates, never fails and never throws. `capacity == 0` disables
+/// storage (record() still counts, so seq numbers stay meaningful).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity) : ring_(capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(Tick time, RecordKind kind, std::uint32_t task,
+              std::uint64_t job, std::uint32_t detail, Tick release,
+              Tick abs_deadline) noexcept {
+    if (!ring_.empty()) {
+      BlackBoxRecord& r = ring_[total_ % ring_.size()];
+      r.seq = total_;
+      r.time = time;
+      r.kind = kind;
+      r.task = task;
+      r.job = job;
+      r.detail = detail;
+      r.release = release;
+      r.abs_deadline = abs_deadline;
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Records ever made (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Records currently held: min(total, capacity).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+  /// Records lost to overwriting.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size();
+  }
+  /// i-th surviving record, oldest first (0 <= i < size()).
+  [[nodiscard]] const BlackBoxRecord& at(std::size_t i) const noexcept {
+    return ring_[(total_ - size() + i) % ring_.size()];
+  }
+
+  /// Appends the surviving records, oldest first, to `out`. Allocates —
+  /// post-mortem use only, never on the recording path.
+  void copy_to(std::vector<BlackBoxRecord>& out) const {
+    const std::size_t n = size();
+    out.reserve(out.size() + n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(at(i));
+  }
+
+ private:
+  std::vector<BlackBoxRecord> ring_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ftmc::rt

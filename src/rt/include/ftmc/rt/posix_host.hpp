@@ -16,6 +16,7 @@
 /// CI smoke mode, and also what the replay properties use.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <random>
 #include <string>
@@ -43,6 +44,12 @@ enum class PosixFaultModel {
   kBernoulli,      ///< i.i.d. faults with probability f_i (seeded)
   kExhaustBudget,  ///< deterministic worst-case adversary
 };
+
+/// Stable dump names ("none", "bernoulli", "exhaust-budget") used by the
+/// black-box format; the inverse returns false on unknown names.
+[[nodiscard]] std::string_view to_string(PosixFaultModel model);
+[[nodiscard]] bool fault_model_from_string(std::string_view name,
+                                           PosixFaultModel& out);
 
 struct PosixHostConfig {
   /// Core policy configuration. Defaults keep the no-alloc contract
@@ -72,6 +79,18 @@ struct PosixResult {
   /// 0 in free-run mode. Pacing quality, not schedule correctness: the
   /// logical schedule is immune to drift by construction.
   std::int64_t max_wall_lateness_us = 0;
+  /// Context switches the core reported (job-to-job and to-idle).
+  std::uint64_t context_switches = 0;
+  /// Wall-clock lateness behind the paced schedule at each context
+  /// switch (us, clamped at 0); empty in free-run mode. Bounded to the
+  /// first kMaxSwitchSamples switches.
+  std::vector<std::int64_t> switch_lateness_us;
+  /// The core's black box: surviving records (oldest first), the total
+  /// ever recorded, and how many of them were admission verdicts. See
+  /// blackbox_io.hpp for the dump format.
+  std::vector<BlackBoxRecord> blackbox;
+  std::uint64_t blackbox_total = 0;
+  std::uint64_t blackbox_admissions = 0;
 };
 
 /// The POSIX host. Construct, run once, inspect the result.
@@ -82,9 +101,20 @@ class PosixHost final : private Host {
   /// Drives the core over [0, horizon). May be called once per instance.
   PosixResult run();
 
+  /// Asks a running run() to stop at the next decision instant. Async-
+  /// signal-safe (a relaxed atomic store), so a SIGINT handler may call
+  /// it; the truncated run still yields a consistent PosixResult whose
+  /// trace and black box replay as a prefix of the full schedule.
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const std::vector<PosixTask>& tasks() const noexcept {
     return tasks_;
   }
+
+  /// Bound on PosixResult::switch_lateness_us samples kept per run.
+  static constexpr std::size_t kMaxSwitchSamples = 1 << 16;
 
  private:
   struct ReleaseEntry {
@@ -99,6 +129,8 @@ class PosixHost final : private Host {
                                   int faults_so_far) override;
   void emit(const Event& event) override;
   void on_mode_change(CritLevel mode, Tick now) override;
+  void on_context_switch(std::uint32_t task, std::uint64_t job,
+                         Tick now) override;
 
   void push_release(std::uint32_t task_index, Tick at);
   void schedule_next_release(std::uint32_t task_index, Tick from);
@@ -113,6 +145,7 @@ class PosixHost final : private Host {
   std::vector<Tick> next_release_;           // per task; kNever = suppressed
   std::uint64_t event_seq_ = 0;
   bool ran_ = false;
+  std::atomic<bool> stop_{false};
 
   PosixResult result_;
   std::int64_t wall_start_ns_ = 0;

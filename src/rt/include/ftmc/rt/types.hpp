@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "ftmc/common/criticality.hpp"
 #include "ftmc/common/time.hpp"
@@ -33,6 +34,14 @@ enum class Adaptation : std::uint8_t {
   kKilling,      ///< discard ready LO jobs, suppress future LO releases
   kDegradation,  ///< stretch LO periods and deadlines by d_f
 };
+
+/// Stable dump names ("edf-vd", "killing", ...) used by the black-box
+/// format; inverses return false on unknown names.
+[[nodiscard]] std::string_view to_string(Policy policy);
+[[nodiscard]] std::string_view to_string(Adaptation adaptation);
+[[nodiscard]] bool policy_from_string(std::string_view name, Policy& out);
+[[nodiscard]] bool adaptation_from_string(std::string_view name,
+                                          Adaptation& out);
 
 /// Static parameters of one task as the runtime core sees it. All times in
 /// ticks. Names, failure probabilities and execution-time distributions are

@@ -6,13 +6,43 @@
 
 namespace ftmc::rt {
 
+// RecordKind values 0–9 mirror EventKind one-to-one, so publish() can cast
+// the kind straight through and a black-box dump replays against the host
+// event stream by sequence number alone.
+static_assert(static_cast<int>(RecordKind::kRelease) ==
+              static_cast<int>(EventKind::kRelease));
+static_assert(static_cast<int>(RecordKind::kStart) ==
+              static_cast<int>(EventKind::kStart));
+static_assert(static_cast<int>(RecordKind::kPreempt) ==
+              static_cast<int>(EventKind::kPreempt));
+static_assert(static_cast<int>(RecordKind::kAttemptFail) ==
+              static_cast<int>(EventKind::kAttemptFail));
+static_assert(static_cast<int>(RecordKind::kComplete) ==
+              static_cast<int>(EventKind::kComplete));
+static_assert(static_cast<int>(RecordKind::kJobFail) ==
+              static_cast<int>(EventKind::kJobFail));
+static_assert(static_cast<int>(RecordKind::kDeadlineMiss) ==
+              static_cast<int>(EventKind::kDeadlineMiss));
+static_assert(static_cast<int>(RecordKind::kModeSwitch) ==
+              static_cast<int>(EventKind::kModeSwitch));
+static_assert(static_cast<int>(RecordKind::kModeReset) ==
+              static_cast<int>(EventKind::kModeReset));
+static_assert(static_cast<int>(RecordKind::kKill) ==
+              static_cast<int>(EventKind::kKill));
+
 Core::Core(const CoreConfig& config, Host& host)
-    : config_(config), host_(host) {
+    : config_(config), host_(host), black_box_(config.black_box_capacity) {
   if (config_.adaptation == Adaptation::kDegradation) {
     FTMC_EXPECTS(config_.degradation_factor >= 1.0,
                  "degradation factor must be >= 1");
   }
   FTMC_EXPECTS(config_.max_jobs > 0, "job pool must have at least one slot");
+}
+
+void Core::publish(const Event& e) {
+  black_box_.record(e.time, static_cast<RecordKind>(e.kind), e.task, e.job,
+                    e.detail, e.release, e.abs_deadline);
+  host_.emit(e);
 }
 
 Admission Core::add_task(const TaskParams& params) {
@@ -26,10 +56,19 @@ Admission Core::add_task(const TaskParams& params) {
                    params.virtual_deadline <= params.deadline,
                "task: virtual deadline out of range");
   FTMC_EXPECTS(params.segments >= 1, "task: needs at least one segment");
+  // The candidate's index in add_task order; rejected candidates consume
+  // an index too, so the black box names every verdict unambiguously.
+  const auto candidate = static_cast<std::uint32_t>(black_box_admissions_);
   if (config_.admission_control) {
     const Admission verdict = admission_check(params);
-    if (!verdict.admitted) return verdict;
+    if (!verdict.admitted) {
+      black_box_.record(0, RecordKind::kReject, candidate, 0, 0, 0, 0);
+      ++black_box_admissions_;
+      return verdict;
+    }
   }
+  black_box_.record(0, RecordKind::kAdmit, candidate, 0, 0, 0, 0);
+  ++black_box_admissions_;
   tasks_.push_back(params);
   return Admission{};
 }
@@ -166,7 +205,7 @@ void Core::on_release(std::uint32_t task_index, Tick now) {
   job.alive = true;
   ready_.push_back(slot);
   ++task_counters_[task_index].released;
-  host_.emit({now, EventKind::kRelease, task_index, job.id, 0, job.release,
+  publish({now, EventKind::kRelease, task_index, job.id, 0, job.release,
               job.abs_deadline});
 
   // An adaptation threshold of 0 means the trigger fires as soon as any
@@ -184,7 +223,7 @@ void Core::enter_hi_mode(Tick now) {
   if (counters_.first_mode_switch == kNever) {
     counters_.first_mode_switch = now;
   }
-  host_.emit({now, EventKind::kModeSwitch, 0, 0, 0, 0, 0});
+  publish({now, EventKind::kModeSwitch, 0, 0, 0, 0, 0});
 
   if (config_.adaptation == Adaptation::kKilling) {
     // Discard all current LO jobs; the host suppresses future LO
@@ -193,7 +232,7 @@ void Core::enter_hi_mode(Tick now) {
       Job& job = jobs_[*it];
       if (tasks_[job.task].crit == CritLevel::LO) {
         ++task_counters_[job.task].killed;
-        host_.emit({now, EventKind::kKill, job.task, job.id, 0, job.release,
+        publish({now, EventKind::kKill, job.task, job.id, 0, job.release,
                     job.abs_deadline});
         job.alive = false;
         free_slots_.push_back(*it);
@@ -230,12 +269,12 @@ std::size_t Core::dispatch(Tick now) {
   if (running_ != kIdle && running_ != pick && jobs_[running_].alive) {
     ++counters_.preemptions;
     const Job& prev = jobs_[running_];
-    host_.emit({now, EventKind::kPreempt, prev.task, prev.id, 0,
+    publish({now, EventKind::kPreempt, prev.task, prev.id, 0,
                 prev.release, prev.abs_deadline});
   }
   if (running_ != pick) {
     const Job& job = jobs_[pick];
-    host_.emit({now, EventKind::kStart, job.task, job.id,
+    publish({now, EventKind::kStart, job.task, job.id,
                 static_cast<std::uint32_t>(job.faults + 1), job.release,
                 job.abs_deadline});
     host_.on_context_switch(job.task, job.id, now);
@@ -278,15 +317,15 @@ void Core::on_segment_boundary(Tick now) {
     tc.total_response += response;
     if (now > job.abs_deadline) {
       ++tc.deadline_misses;
-      host_.emit({now, EventKind::kDeadlineMiss, task_index, job.id, 0,
+      publish({now, EventKind::kDeadlineMiss, task_index, job.id, 0,
                   job.release, job.abs_deadline});
     }
-    host_.emit({now, EventKind::kComplete, task_index, job.id, 0,
+    publish({now, EventKind::kComplete, task_index, job.id, 0,
                 job.release, job.abs_deadline});
   } else {
     ++tc.faults;
     ++job.faults;
-    host_.emit({now, EventKind::kAttemptFail, task_index, job.id,
+    publish({now, EventKind::kAttemptFail, task_index, job.id,
                 static_cast<std::uint32_t>(job.faults), job.release,
                 job.abs_deadline});
     // max_attempts bounds the total faults a job may absorb: for full
@@ -303,7 +342,7 @@ void Core::on_segment_boundary(Tick now) {
       return;  // re-run the faulted segment
     }
     ++tc.job_failures;
-    host_.emit({now, EventKind::kJobFail, task_index, job.id, 0, job.release,
+    publish({now, EventKind::kJobFail, task_index, job.id, 0, job.release,
                 job.abs_deadline});
   }
   // Retire the job (success or exhausted attempts).
@@ -325,7 +364,7 @@ void Core::on_idle(Tick now) {
   if (!config_.mode_reset_on_idle || mode_ != CritLevel::HI) return;
   mode_ = CritLevel::LO;
   ++counters_.mode_resets;
-  host_.emit({now, EventKind::kModeReset, 0, 0, 0, 0, 0});
+  publish({now, EventKind::kModeReset, 0, 0, 0, 0, 0});
   host_.on_mode_change(CritLevel::LO, now);
 }
 

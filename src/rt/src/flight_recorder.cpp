@@ -1,0 +1,34 @@
+#include "ftmc/rt/flight_recorder.hpp"
+
+#include <cstring>
+
+namespace ftmc::rt {
+
+namespace {
+
+// Matches to_string(EventKind) in types.cpp for the shared kinds, so dump
+// consumers and trace CSVs agree on spelling.
+constexpr const char* kKindNames[] = {
+    "release",    "start",    "preempt",       "attempt-fail",
+    "complete",   "job-fail", "deadline-miss", "mode-switch",
+    "mode-reset", "kill",     "admit",         "reject",
+};
+
+}  // namespace
+
+const char* to_string(RecordKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < std::size(kKindNames) ? kKindNames[i] : "unknown";
+}
+
+bool record_kind_from_string(const char* name, RecordKind& out) noexcept {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (std::strcmp(name, kKindNames[i]) == 0) {
+      out = static_cast<RecordKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ftmc::rt

@@ -18,6 +18,27 @@ std::int64_t monotonic_ns() {
 
 }  // namespace
 
+std::string_view to_string(PosixFaultModel model) {
+  switch (model) {
+    case PosixFaultModel::kNone: return "none";
+    case PosixFaultModel::kBernoulli: return "bernoulli";
+    case PosixFaultModel::kExhaustBudget: return "exhaust-budget";
+  }
+  return "unknown";
+}
+
+bool fault_model_from_string(std::string_view name, PosixFaultModel& out) {
+  for (const PosixFaultModel m :
+       {PosixFaultModel::kNone, PosixFaultModel::kBernoulli,
+        PosixFaultModel::kExhaustBudget}) {
+    if (name == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 PosixHost::PosixHost(std::vector<PosixTask> tasks,
                      const PosixHostConfig& config)
     : tasks_(std::move(tasks)),
@@ -74,6 +95,24 @@ void PosixHost::emit(const Event& event) {
   if (result_.trace.size() < config_.trace_capacity) {
     result_.trace.push_back(event);
   }
+}
+
+void PosixHost::on_context_switch(std::uint32_t /*task*/,
+                                  std::uint64_t /*job*/, Tick now) {
+  ++result_.context_switches;
+  if (config_.time_scale <= 0.0 ||
+      result_.switch_lateness_us.size() >=
+          result_.switch_lateness_us.capacity()) {
+    return;
+  }
+  // How far behind the paced schedule the switch really happened: the
+  // dispatch latency a deployed target would observe. Clamped at 0 — a
+  // switch can only be late, never early, relative to its decision instant.
+  const std::int64_t target_ns =
+      wall_start_ns_ + static_cast<std::int64_t>(
+                           config_.time_scale * static_cast<double>(now) * 1e3);
+  result_.switch_lateness_us.push_back(
+      std::max<std::int64_t>(0, (monotonic_ns() - target_ns) / 1000));
 }
 
 void PosixHost::push_release(std::uint32_t task_index, Tick at) {
@@ -147,6 +186,10 @@ PosixResult PosixHost::run() {
   FTMC_EXPECTS(!ran_, "PosixHost::run may only be called once");
   ran_ = true;
   result_.horizon = config_.horizon;
+  if (config_.time_scale > 0.0) {
+    // All sample storage up front: on_context_switch must not allocate.
+    result_.switch_lateness_us.reserve(kMaxSwitchSamples);
+  }
 
   const auto heap_greater = [](const ReleaseEntry& a, const ReleaseEntry& b) {
     return a.time != b.time ? a.time > b.time : a.seq > b.seq;
@@ -174,7 +217,8 @@ PosixResult PosixHost::run() {
     }
   };
 
-  while (now < config_.horizon) {
+  while (now < config_.horizon &&
+         !stop_.load(std::memory_order_relaxed)) {
     if (!core_.has_ready()) {
       core_.on_idle(now);
       Tick next = kNever;
@@ -221,6 +265,9 @@ PosixResult PosixHost::run() {
   }
   result_.wall_seconds =
       static_cast<double>(monotonic_ns() - wall_start_ns_) / 1e9;
+  core_.black_box().copy_to(result_.blackbox);
+  result_.blackbox_total = core_.black_box().total();
+  result_.blackbox_admissions = core_.black_box_admissions();
   return result_;
 }
 

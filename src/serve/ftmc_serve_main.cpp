@@ -2,23 +2,29 @@
 /// \brief The `ftmc_serve` daemon: FT-S admission-control analysis over
 ///        a length-prefixed TCP protocol (see docs/serving.md).
 ///
-/// Two modes:
+/// Three modes:
 ///  - default: bind a TCP listener, print "ftmc_serve: listening on
 ///    ADDR:PORT" (the line CI greps for) and serve until SIGINT/SIGTERM
 ///    or a {"type":"shutdown"} request;
 ///  - --stdin: read the whole of stdin as ONE request document, write
 ///    the response plus a newline to stdout and exit — no sockets, the
-///    mode the tests and quick shell pipelines use.
+///    mode the tests and quick shell pipelines use;
+///  - --obs-export: read a JSON registry snapshot (a BENCH_*.json file,
+///    a {"type":"metrics"} response, or a bare snapshot) from stdin and
+///    print it in Prometheus text exposition format.
 ///
 /// Exit codes: 0 = clean shutdown, 2 = usage error, 1 = runtime failure.
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <iterator>
 #include <string>
 
 #include "ftmc/common/expected.hpp"
+#include "ftmc/obs/exposition.hpp"
 #include "ftmc/obs/registry.hpp"
+#include "ftmc/serve/expose.hpp"
 #include "ftmc/serve/server.hpp"
 #include "ftmc/serve/tcp.hpp"
 
@@ -36,12 +42,18 @@ options:
   --max-frame-bytes N  frame payload ceiling (default 16 MiB)
   --stdin              one-shot: read one request from stdin, answer on
                        stdout, exit (no sockets)
+  --obs-export         one-shot: read a JSON metrics snapshot from stdin,
+                       print it as Prometheus text exposition, exit
+  --trace-out FILE     write the request spans as a Chrome trace on exit
+                       (open in Perfetto; --stdin and TCP modes)
 )";
 
 struct CliOptions {
   serve::ServerOptions server;
   serve::TcpOptions tcp;
   bool stdin_mode = false;
+  bool obs_export = false;
+  std::string trace_out;
 };
 
 [[nodiscard]] Expected<long long> parse_int(const std::string& flag,
@@ -78,6 +90,12 @@ struct CliOptions {
       std::exit(0);
     } else if (flag == "--stdin") {
       opt.stdin_mode = true;
+    } else if (flag == "--obs-export") {
+      opt.obs_export = true;
+    } else if (flag == "--trace-out") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.trace_out = *v;
     } else if (flag == "--port") {
       auto n = int_value();
       if (!n) return Fail::failure(n.error());
@@ -125,11 +143,36 @@ extern "C" void handle_stop_signal(int) {
   if (g_listener != nullptr) g_listener->stop();
 }
 
+/// Writes the server's request spans to opt.trace_out (no-op when the
+/// flag was not given). Called after the transports have drained.
+void write_trace(serve::Server& server, const CliOptions& opt) {
+  if (opt.trace_out.empty()) return;
+  std::ofstream out(opt.trace_out);
+  if (!out) {
+    std::cerr << "ftmc_serve: cannot write trace to \"" << opt.trace_out
+              << "\"\n";
+    return;
+  }
+  server.spans().write_chrome_trace(out);
+  std::cerr << "ftmc_serve: wrote " << server.spans().total_events()
+            << " spans to " << opt.trace_out << "\n";
+}
+
+int run_obs_export() {
+  const std::string text(std::istreambuf_iterator<char>(std::cin),
+                         std::istreambuf_iterator<char>{});
+  const obs::Snapshot snapshot =
+      serve::snapshot_from_json(io::json::parse(text));
+  std::cout << obs::to_prometheus(snapshot);
+  return 0;
+}
+
 int run_stdin(const CliOptions& opt) {
   serve::Server server(opt.server);
   const std::string request(std::istreambuf_iterator<char>(std::cin),
                             std::istreambuf_iterator<char>{});
   std::cout << server.handle(request) << "\n";
+  write_trace(server, opt);
   return 0;
 }
 
@@ -147,6 +190,7 @@ int run_tcp(const CliOptions& opt) {
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_listener = nullptr;
+  write_trace(server, opt);
   std::cout << "ftmc_serve: shut down cleanly" << std::endl;
   return 0;
 }
@@ -161,6 +205,7 @@ int main(int argc, char** argv) {
   }
   obs::Registry::global().enable();
   try {
+    if (parsed->obs_export) return run_obs_export();
     return parsed->stdin_mode ? run_stdin(*parsed) : run_tcp(*parsed);
   } catch (const std::exception& e) {
     std::cerr << "ftmc_serve: " << e.what() << "\n";

@@ -1,0 +1,25 @@
+/// \file expose.hpp
+/// \brief Offline re-exposition: a JSON registry snapshot back into a
+///        live obs::Snapshot, for Prometheus rendering after the fact.
+///
+/// BENCH_*.json files carry a "metrics" block and {"type":"metrics"}
+/// responses a "metrics" field — both in the registry's JSON snapshot
+/// schema (docs/observability.md). `ftmc_serve --obs-export` reads either
+/// shape (or a bare snapshot) from stdin and prints the Prometheus text
+/// form, so recorded telemetry can be pushed through the same exposition
+/// path a live scrape uses.
+#pragma once
+
+#include "ftmc/io/json.hpp"
+#include "ftmc/obs/registry.hpp"
+
+namespace ftmc::serve {
+
+/// Rebuilds a Snapshot from its JSON form. `doc` may be the snapshot
+/// itself or any object carrying it under a "metrics" key. Derived
+/// histogram fields (mean, p50, ...) are ignored; counts are
+/// cross-checked against the bucket array. Throws io::ParseError on
+/// documents that do not follow the snapshot schema.
+[[nodiscard]] obs::Snapshot snapshot_from_json(const io::json::Value& doc);
+
+}  // namespace ftmc::serve

@@ -22,11 +22,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "ftmc/campaign/cache.hpp"
 #include "ftmc/obs/registry.hpp"
+#include "ftmc/obs/span.hpp"
 #include "ftmc/serve/protocol.hpp"
 
 namespace ftmc::serve {
@@ -53,17 +55,34 @@ struct ServeMetrics {
   obs::Counter request_errors;
   obs::Counter query_errors;
   obs::Histogram query_latency_us;
+  /// Per-query-type latency (serve.latency_us.<kind>): the operator view
+  /// of where analysis time goes; query_latency_us stays the aggregate.
+  obs::Histogram latency_fts_us;
+  obs::Histogram latency_sweep_us;
+  obs::Histogram latency_sensitivity_us;
+  obs::Histogram latency_admit_us;
   obs::Gauge cache_entries;
 
   [[nodiscard]] static ServeMetrics global();
 };
 
 /// The request engine. See docs/serving.md for the JSON schema:
-///   {"type":"ping"}                 -> {"type":"pong"}
+///   {"type":"ping"}                 -> {"type":"pong",...}
 ///   {"type":"metrics"}              -> {"type":"metrics","metrics":{...}}
-///   {"type":"shutdown"}             -> {"type":"bye"} (+ shutdown flag)
+///   {"type":"expose"}               -> {"type":"expose","content_type":
+///                                       ...,"body":"<Prometheus text>"}
+///   {"type":"shutdown"}             -> {"type":"bye",...} (+ shutdown flag)
 ///   {"type":"analyze","queries":[...]}
-///     -> {"type":"result","count":N,"cache_hits":H,"results":[...]}
+///     -> {"type":"result","trace_id":T,"count":N,"cache_hits":H,
+///         "results":[...]}
+///
+/// End-to-end tracing: every request may carry a "trace_id" string; the
+/// server echoes it (or a synthesized "t-<n>") as the `trace_id` field of
+/// every response, right after "type" — never inside the results array,
+/// which stays a pure function of the request (the determinism
+/// contract). Each request is also covered by RAII spans
+/// (request/parse/analyze/respond) on the server's span recorder,
+/// exportable as a Chrome trace via `ftmc_serve --trace-out`.
 class Server {
  public:
   explicit Server(ServerOptions options = {});
@@ -85,12 +104,20 @@ class Server {
     return options_;
   }
 
+  /// The request-span recorder (request/parse/analyze/respond lanes, one
+  /// per serving thread, plus the exec workers' lanes). Export with
+  /// write_chrome_trace after the transports have drained.
+  [[nodiscard]] obs::SpanRecorder& spans() noexcept { return spans_; }
+
  private:
-  [[nodiscard]] std::string handle_analyze(std::string_view request_json);
+  [[nodiscard]] std::string handle_analyze(std::string_view request_json,
+                                           const std::string& trace_id);
 
   ServerOptions options_;
   campaign::HashCache<std::string> cache_;
   ServeMetrics metrics_;
+  obs::SpanRecorder spans_;
+  std::atomic<std::uint64_t> trace_seq_{0};
   std::atomic<bool> shutdown_{false};
 };
 

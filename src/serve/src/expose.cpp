@@ -1,0 +1,46 @@
+#include "ftmc/serve/expose.hpp"
+
+namespace ftmc::serve {
+
+obs::Snapshot snapshot_from_json(const io::json::Value& doc) {
+  const io::json::Value* root = &doc;
+  if (root->find("counters") == nullptr) {
+    if (const io::json::Value* metrics = root->find("metrics")) {
+      root = metrics;
+    }
+  }
+  obs::Snapshot snap;
+  for (const auto& [name, value] : root->at("counters").fields()) {
+    snap.counters.emplace_back(name, value.as_uint64());
+  }
+  for (const auto& [name, value] : root->at("gauges").fields()) {
+    snap.gauges.emplace_back(name, value.as_number());
+  }
+  for (const auto& [name, value] : root->at("histograms").fields()) {
+    obs::HistogramSnapshot h;
+    h.name = name;
+    for (const io::json::Value& b : value.at("bounds").items()) {
+      h.bounds.push_back(b.as_number());
+    }
+    for (const io::json::Value& c : value.at("counts").items()) {
+      h.counts.push_back(c.as_uint64());
+    }
+    if (h.counts.size() != h.bounds.size() + 1) {
+      throw io::ParseError("histogram \"" + h.name + "\" needs " +
+                           std::to_string(h.bounds.size() + 1) +
+                           " buckets, got " + std::to_string(h.counts.size()));
+    }
+    h.count = value.at("count").as_uint64();
+    h.sum = value.at("sum").as_number();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : h.counts) total += c;
+    if (total != h.count) {
+      throw io::ParseError("histogram \"" + h.name +
+                           "\" bucket counts do not sum to its count");
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace ftmc::serve

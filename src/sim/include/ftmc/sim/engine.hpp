@@ -71,6 +71,11 @@ struct SimConfig {
   /// Keep at most this many trace events (0 disables tracing).
   std::size_t trace_capacity = 0;
 
+  /// Entries in the core's always-on black-box flight recorder (see
+  /// ftmc/rt/flight_recorder.hpp); unlike the trace it survives with a
+  /// bounded tail even when tracing is off.
+  std::size_t black_box_capacity = 256;
+
   /// Optional metrics registry. When set, the run feeds scheduling
   /// counters (sim.releases, sim.preemptions, sim.mode_switches,
   /// sim.kills, sim.reexecutions, ...) and per-task response-time
@@ -95,6 +100,12 @@ class Simulator : private rt::Host {
   }
   [[nodiscard]] const std::vector<SimTask>& tasks() const noexcept {
     return tasks_;
+  }
+
+  /// The core's black-box flight recorder (valid for the simulator's
+  /// lifetime; inspect after run() for the post-mortem tail).
+  [[nodiscard]] const rt::FlightRecorder& black_box() const noexcept {
+    return core_->black_box();
   }
 
   /// Total temporal-domain failures (exhausted re-execution budgets,

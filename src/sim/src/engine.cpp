@@ -110,6 +110,7 @@ Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
   core_config.mode_reset_on_idle = config_.mode_reset_on_idle;
   core_config.max_jobs = 64;
   core_config.allow_job_growth = true;
+  core_config.black_box_capacity = config_.black_box_capacity;
   core_.emplace(core_config, static_cast<rt::Host&>(*this));
   for (const SimTask& t : tasks_) core_->add_task(to_params(t));
   core_->start();

@@ -1,0 +1,132 @@
+// Tests of the Prometheus text-exposition writer (obs/exposition.hpp):
+// name mangling, non-finite number spellings, and the cumulative-bucket
+// histogram rendering that tools/expocheck.py gates in CI.
+#include "ftmc/obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "ftmc/obs/registry.hpp"
+
+namespace obs = ftmc::obs;
+
+namespace {
+
+// Counts occurrences of `needle` in `text`.
+std::size_t occurrences(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(Exposition, NameManglingProducesLegalMetricNames) {
+  EXPECT_EQ(obs::prometheus_name("rt.context_switches"),
+            "rt_context_switches");
+  EXPECT_EQ(obs::prometheus_name("serve.latency_us.fts"),
+            "serve_latency_us_fts");
+  EXPECT_EQ(obs::prometheus_name("already_fine:colon"), "already_fine:colon");
+  EXPECT_EQ(obs::prometheus_name("has spaces-and-dashes"),
+            "has_spaces_and_dashes");
+  // A leading digit is not a legal first character; it gets prefixed —
+  // and an empty name degenerates to just the prefix underscore.
+  EXPECT_EQ(obs::prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::prometheus_name(""), "_");
+}
+
+TEST(Exposition, NumbersUseCanonicalNonFiniteSpellings) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(obs::prometheus_number(inf), "+Inf");
+  EXPECT_EQ(obs::prometheus_number(-inf), "-Inf");
+  EXPECT_EQ(obs::prometheus_number(std::nan("")), "NaN");
+  EXPECT_EQ(obs::prometheus_number(0.0), "0");
+  EXPECT_EQ(obs::prometheus_number(2.5), "2.5");
+  EXPECT_EQ(obs::prometheus_number(-17.0), "-17");
+}
+
+TEST(Exposition, CountersAndGaugesRenderWithTypeLines) {
+  obs::Registry reg(/*enabled=*/true);
+  reg.counter("check.sim_runs").inc(41);
+  reg.gauge("queue.depth").set(3.0);
+
+  const std::string out = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("# TYPE ftmc_check_sim_runs counter\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_check_sim_runs 41\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("# TYPE ftmc_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("ftmc_queue_depth 3\n"), std::string::npos) << out;
+}
+
+TEST(Exposition, InfiniteGaugeNeverUsesTheJsonSpelling) {
+  // The JSON snapshot maps +-inf to the strings "inf"/"-inf"; the
+  // exposition writer must emit the scraper spellings instead.
+  obs::Registry reg(/*enabled=*/true);
+  reg.gauge("worst.lateness").set(std::numeric_limits<double>::infinity());
+  reg.gauge("best.headroom").set(-std::numeric_limits<double>::infinity());
+
+  const std::string out = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("ftmc_worst_lateness +Inf\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("ftmc_best_headroom -Inf\n"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\"inf\""), std::string::npos) << out;
+  EXPECT_EQ(out.find(" inf\n"), std::string::npos) << out;
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeAndEndAtInf) {
+  obs::Registry reg(/*enabled=*/true);
+  obs::Histogram h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // bucket <= 1
+  h.observe(0.7);   // bucket <= 1
+  h.observe(5.0);   // bucket <= 10
+  h.observe(1e6);   // overflow bucket
+
+  const std::string out = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("# TYPE ftmc_lat histogram\n"), std::string::npos);
+  // Cumulative counts: 2, 3, 3, and the +Inf bucket equals _count.
+  EXPECT_NE(out.find("ftmc_lat_bucket{le=\"1\"} 2\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_lat_bucket{le=\"10\"} 3\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_lat_bucket{le=\"100\"} 3\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_lat_bucket{le=\"+Inf\"} 4\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_lat_count 4\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("ftmc_lat_sum "), std::string::npos) << out;
+  // Exactly one +Inf bucket, and it comes after the finite ones.
+  EXPECT_EQ(occurrences(out, "ftmc_lat_bucket"), 4u);
+  EXPECT_LT(out.find("le=\"100\""), out.find("le=\"+Inf\"")) << out;
+}
+
+TEST(Exposition, EmptyHistogramStillExportsTheFullShape) {
+  obs::Registry reg(/*enabled=*/true);
+  (void)reg.histogram("idle", {2.0});
+
+  const std::string out = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("ftmc_idle_bucket{le=\"2\"} 0\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_idle_bucket{le=\"+Inf\"} 0\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ftmc_idle_count 0\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("ftmc_idle_sum 0\n"), std::string::npos) << out;
+}
+
+TEST(Exposition, PrefixIsConfigurable) {
+  obs::Registry reg(/*enabled=*/true);
+  reg.counter("x").inc();
+  const std::string out = obs::to_prometheus(reg.snapshot(), "acme_");
+  EXPECT_NE(out.find("# TYPE acme_x counter\n"), std::string::npos) << out;
+  EXPECT_EQ(out.find("ftmc_"), std::string::npos) << out;
+}
+
+TEST(Exposition, EmptySnapshotRendersNothing) {
+  const obs::Snapshot empty;
+  EXPECT_EQ(obs::to_prometheus(empty), "");
+}

@@ -143,6 +143,54 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(hs.quantile(0.99), 1.0);
 }
 
+TEST(Histogram, QuantileExtremeRanksAndDegenerateBuckets) {
+  // Built directly (the fields are public) so the bucket occupancy is
+  // exact rather than a side effect of observe() rounding.
+  HistogramSnapshot hs;
+  hs.bounds = {10.0, 20.0, 30.0};
+  hs.counts = {0, 4, 4, 0};  // zero-count first bucket, empty overflow
+  hs.count = 8;
+  hs.sum = 8.0 * 20.0;
+
+  // q=0 asks for rank 0, which lands in the empty first bucket:
+  // interpolation there must not divide by zero and reports the
+  // bucket's upper edge.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), 10.0);
+  // q=1 asks for the full count; all mass fits under the last finite
+  // bound, so the answer is that bound, not the overflow edge.
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 30.0);
+  // Rank 4 is the full (10,20] bucket: its upper edge.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 20.0);
+
+  // All mass in the overflow bucket: every quantile reports the last
+  // finite bound (the overflow bucket's lower edge).
+  HistogramSnapshot over;
+  over.bounds = {1.0, 2.0};
+  over.counts = {0, 0, 7};
+  over.count = 7;
+  over.sum = 700.0;
+  EXPECT_DOUBLE_EQ(over.quantile(0.01), 2.0);
+  EXPECT_DOUBLE_EQ(over.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileWithNegativeBoundsInterpolatesFromTheBound) {
+  // A first bucket with a negative upper bound: the implicit lower edge
+  // is min(0, bounds[0]) = bounds[0] itself, so the whole first bucket
+  // collapses to its bound instead of interpolating up from zero (which
+  // would produce values *above* the bucket's range).
+  HistogramSnapshot hs;
+  hs.bounds = {-10.0, 0.0, 10.0};
+  hs.counts = {2, 2, 2, 0};
+  hs.count = 6;
+  hs.sum = 0.0;
+  // The first bucket's range is [-10, -10]: every rank inside it is the
+  // bound itself.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.25), -10.0);
+  // Rank 3 is halfway through the (-10, 0] bucket.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), -5.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 10.0);
+}
+
 TEST(Histogram, ConcurrentObservationsEqualSerialTotal) {
   Registry reg;
   constexpr int kThreads = 8;

@@ -146,6 +146,11 @@ TEST_P(RtNoAlloc, NoHeapAllocationAfterStart) {
   cfg.mode_reset_on_idle = true;  // exercise both switch directions
   cfg.max_jobs = 16;
   cfg.allow_job_growth = false;   // the embedded-target contract
+  // A ring far smaller than the event count: the flight recorder wraps
+  // thousands of times during the run, and every record() lands inside
+  // the no-alloc window below (the ring itself is allocated in the
+  // constructor). Dumping is allowed to allocate; recording is not.
+  cfg.black_box_capacity = 64;
   rt::Core core(cfg, host);
   core.add_task(task(1'000, CritLevel::HI));
   core.add_task(task(2'000, CritLevel::HI));
@@ -172,6 +177,13 @@ TEST_P(RtNoAlloc, NoHeapAllocationAfterStart) {
   EXPECT_GT(host.events, 1000u);
   EXPECT_GT(host.fault_calls, 100u);
   EXPECT_GT(core.counters().mode_switches, 0u);
+  // Recording was live the whole time: one black-box record per emitted
+  // event plus the four admission verdicts, with the ring full and the
+  // overflow counted rather than allocated around.
+  EXPECT_EQ(core.black_box().total(),
+            host.events + core.black_box_admissions());
+  EXPECT_EQ(core.black_box().size(), 64u);
+  EXPECT_EQ(core.black_box().dropped(), core.black_box().total() - 64u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAdaptations, RtNoAlloc,

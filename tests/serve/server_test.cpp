@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,9 @@
 #include "ftmc/campaign/spec.hpp"
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/io/json.hpp"
+#include "ftmc/obs/exposition.hpp"
+#include "ftmc/obs/registry.hpp"
+#include "ftmc/serve/expose.hpp"
 #include "ftmc/taskgen/generator.hpp"
 
 namespace ftmc::serve {
@@ -55,7 +60,29 @@ namespace {
 
 TEST(Server, AnswersPing) {
   Server server;
-  EXPECT_EQ(server.handle("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+  // No trace_id in the request: the server synthesizes one ("t-<n>",
+  // starting at 0) and reports it right after the type.
+  EXPECT_EQ(server.handle("{\"type\":\"ping\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t-0\"}");
+}
+
+TEST(Server, EchoesTheCallersTraceId) {
+  Server server;
+  EXPECT_EQ(server.handle("{\"type\":\"ping\",\"trace_id\":\"req-42\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"req-42\"}");
+  // Synthesized IDs keep counting across requests.
+  EXPECT_EQ(server.handle("{\"type\":\"ping\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t-0\"}");
+  EXPECT_EQ(server.handle("{\"type\":\"ping\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t-1\"}");
+}
+
+TEST(Server, ErrorResponsesCarryTheTraceId) {
+  Server server;
+  const auto doc = io::json::parse(
+      server.handle("{\"type\":\"launch\",\"trace_id\":\"oops-1\"}"));
+  EXPECT_EQ(doc.at("type").as_string(), "error");
+  EXPECT_EQ(doc.at("trace_id").as_string(), "oops-1");
 }
 
 TEST(Server, MetricsRequestReturnsRegistrySnapshot) {
@@ -72,7 +99,8 @@ TEST(Server, MetricsRequestReturnsRegistrySnapshot) {
 TEST(Server, ShutdownRequestSetsFlagAndAnswersBye) {
   Server server;
   EXPECT_FALSE(server.shutdown_requested());
-  EXPECT_EQ(server.handle("{\"type\":\"shutdown\"}"), "{\"type\":\"bye\"}");
+  EXPECT_EQ(server.handle("{\"type\":\"shutdown\"}"),
+            "{\"type\":\"bye\",\"trace_id\":\"t-0\"}");
   EXPECT_TRUE(server.shutdown_requested());
 }
 
@@ -117,6 +145,7 @@ TEST(Server, FtsAnswerIsBitIdenticalToLocalAnalysis) {
                                         .str();
   const std::string expected = io::json::Object{}
                                    .add_string("type", "result")
+                                   .add_string("trace_id", "t-0")
                                    .add_int("count", 1)
                                    .add_int("cache_hits", 0)
                                    .add_raw("results",
@@ -257,6 +286,127 @@ TEST(Server, CacheKeyNormalizesIrrelevantDegradationFactor) {
       server.handle(analyze_request({query_with_df(8.0)})));
   EXPECT_EQ(first.at("cache_hits").as_uint64(), 0u);
   EXPECT_EQ(second.at("cache_hits").as_uint64(), 1u);
+}
+
+TEST(Server, AdmitQueryReportsPerTaskVerdictsAndAuditTrail) {
+  Server server;
+  const std::string query = io::json::Object{}
+                                .add_string("query", "admit")
+                                .add_string("scheduler", "edf_vd_killing")
+                                .add_int("n_hi", 2)
+                                .add_int("n_lo", 2)
+                                .add_int("n_adapt", 1)
+                                .add_raw("task_set", task_set_json(5, 0.3))
+                                .str();
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].at("ok").as_bool()) << results[0].at("error")
+                                                    .as_string();
+  const auto& answer = results[0].at("answer");
+  (void)answer.at("admitted").as_bool();
+  (void)answer.at("vd_schedulable").as_bool();
+  EXPECT_GT(answer.at("x").as_number(), 0.0);
+  const auto& tasks = answer.at("tasks").items();
+  ASSERT_GE(tasks.size(), 1u);
+  // One admission verdict in the black-box audit trail per task, in
+  // submission order, each either "admit" or "reject" — and a rejected
+  // task must carry its reason.
+  const auto& records = answer.at("blackbox").items();
+  ASSERT_EQ(records.size(), tasks.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].at("seq").as_uint64(), i);
+    const std::string kind = records[i].at("kind").as_string();
+    EXPECT_TRUE(kind == "admit" || kind == "reject") << kind;
+    EXPECT_EQ(kind == "admit", tasks[i].at("admitted").as_bool());
+    if (kind == "reject") {
+      EXPECT_FALSE(tasks[i].at("reason").as_string().empty());
+    }
+  }
+}
+
+TEST(Server, AdmitQueryValidatesItsProfile) {
+  Server server;
+  // n_adapt >= n_hi is not a valid re-execution profile.
+  const std::string query = io::json::Object{}
+                                .add_string("query", "admit")
+                                .add_int("n_hi", 2)
+                                .add_int("n_adapt", 2)
+                                .add_raw("task_set", task_set_json(5))
+                                .str();
+  const auto doc = io::json::parse(server.handle(analyze_request({query})));
+  EXPECT_FALSE(doc.at("results").items()[0].at("ok").as_bool());
+}
+
+TEST(Server, ExposeAnswersPrometheusText) {
+  Server server;
+  const auto doc = io::json::parse(server.handle("{\"type\":\"expose\"}"));
+  EXPECT_EQ(doc.at("type").as_string(), "expose");
+  EXPECT_EQ(doc.at("content_type").as_string(),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string body = doc.at("body").as_string();
+  // The global registry may be disabled (empty body) or enabled via
+  // FTMC_OBS; either way the body must never leak the JSON snapshot's
+  // "inf" spellings and every TYPE line must name a known type.
+  EXPECT_EQ(body.find("\"inf\""), std::string::npos) << body;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const bool known = line.find(" counter") != std::string::npos ||
+                       line.find(" gauge") != std::string::npos ||
+                       line.find(" histogram") != std::string::npos;
+    EXPECT_TRUE(known) << line;
+  }
+}
+
+TEST(Server, SnapshotFromJsonRoundTripsTheRegistry) {
+  obs::Registry reg(/*enabled=*/true);
+  reg.counter("trip.count").inc(7);
+  reg.gauge("trip.gauge").set(2.5);
+  reg.gauge("trip.inf").set(std::numeric_limits<double>::infinity());
+  obs::Histogram h = reg.histogram("trip.lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(100.0);
+
+  const obs::Snapshot original = reg.snapshot();
+  const obs::Snapshot rebuilt =
+      snapshot_from_json(io::json::parse(reg.snapshot_json()));
+
+  ASSERT_EQ(rebuilt.counters.size(), original.counters.size());
+  EXPECT_EQ(rebuilt.counters, original.counters);
+  ASSERT_EQ(rebuilt.gauges.size(), original.gauges.size());
+  for (std::size_t i = 0; i < original.gauges.size(); ++i) {
+    EXPECT_EQ(rebuilt.gauges[i].first, original.gauges[i].first);
+    EXPECT_EQ(rebuilt.gauges[i].second, original.gauges[i].second);
+  }
+  ASSERT_EQ(rebuilt.histograms.size(), original.histograms.size());
+  for (std::size_t i = 0; i < original.histograms.size(); ++i) {
+    const obs::HistogramSnapshot& a = original.histograms[i];
+    const obs::HistogramSnapshot& b = rebuilt.histograms[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.bounds, a.bounds);
+    EXPECT_EQ(b.counts, a.counts);
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_DOUBLE_EQ(b.sum, a.sum);
+  }
+  // The rebuilt snapshot renders the same exposition text — this is the
+  // --obs-export path (BENCH_*.json in, Prometheus text out).
+  EXPECT_EQ(obs::to_prometheus(rebuilt), obs::to_prometheus(original));
+}
+
+TEST(Server, SnapshotFromJsonRejectsInconsistentHistograms) {
+  // counts must have bounds.size()+1 entries and sum to count.
+  EXPECT_THROW(
+      (void)snapshot_from_json(io::json::parse(
+          R"({"counters":{},"gauges":{},"histograms":{)"
+          R"("h":{"count":2,"sum":1.0,"bounds":[1.0],"counts":[1]}}})")),
+      std::exception);
+  EXPECT_THROW(
+      (void)snapshot_from_json(io::json::parse(
+          R"({"counters":{},"gauges":{},"histograms":{)"
+          R"("h":{"count":5,"sum":1.0,"bounds":[1.0],"counts":[1,1]}}})")),
+      std::exception);
 }
 
 TEST(Server, BoundedCacheDeclinesButStaysCorrect) {

@@ -45,13 +45,15 @@ class TcpTest : public ::testing::Test {
 
 TEST_F(TcpTest, PingRoundTrip) {
   Client client = connect();
-  EXPECT_EQ(client.call("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+  EXPECT_EQ(client.call("{\"type\":\"ping\",\"trace_id\":\"t\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t\"}");
 }
 
 TEST_F(TcpTest, MultipleRequestsOnOneConnection) {
   Client client = connect();
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(client.call("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+    EXPECT_EQ(client.call("{\"type\":\"ping\",\"trace_id\":\"t\"}"),
+              "{\"type\":\"pong\",\"trace_id\":\"t\"}");
   }
 }
 
@@ -65,7 +67,8 @@ TEST_F(TcpTest, ConcurrentClientsAllGetAnswers) {
     threads.emplace_back([this, c, &ok] {
       Client client = connect();
       for (int i = 0; i < kCallsEach; ++i) {
-        if (client.call("{\"type\":\"ping\"}") == "{\"type\":\"pong\"}") {
+        if (client.call("{\"type\":\"ping\",\"trace_id\":\"t\"}") ==
+            "{\"type\":\"pong\",\"trace_id\":\"t\"}") {
           ++ok[static_cast<std::size_t>(c)];
         }
       }
@@ -80,7 +83,8 @@ TEST_F(TcpTest, MalformedBodyKeepsConnectionAlive) {
   const auto doc = io::json::parse(client.call("this is not json"));
   EXPECT_EQ(doc.at("type").as_string(), "error");
   // Body-level errors are per-request; the connection stays usable.
-  EXPECT_EQ(client.call("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+  EXPECT_EQ(client.call("{\"type\":\"ping\",\"trace_id\":\"t\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t\"}");
 }
 
 TEST_F(TcpTest, OversizedFrameAnswersErrorAndCloses) {
@@ -115,7 +119,8 @@ TEST_F(TcpTest, AnalyzeOverTcpMatchesInProcessEngine) {
 
 TEST_F(TcpTest, ShutdownRequestStopsTheListener) {
   Client client = connect();
-  EXPECT_EQ(client.call("{\"type\":\"shutdown\"}"), "{\"type\":\"bye\"}");
+  EXPECT_EQ(client.call("{\"type\":\"shutdown\",\"trace_id\":\"t\"}"),
+            "{\"type\":\"bye\",\"trace_id\":\"t\"}");
   // serve() must return on its own now; TearDown's stop() is then a
   // no-op. Joining here (with a deadline enforced by ctest timeouts)
   // is the assertion.
@@ -153,7 +158,8 @@ TEST(TcpServer, TruncatedStreamIsCountedNotFatal) {
   }  // destructor closes the socket mid-frame
   // The server must survive the truncated stream and keep serving.
   Client client("127.0.0.1", listener.port());
-  EXPECT_EQ(client.call("{\"type\":\"ping\"}"), "{\"type\":\"pong\"}");
+  EXPECT_EQ(client.call("{\"type\":\"ping\",\"trace_id\":\"t\"}"),
+            "{\"type\":\"pong\",\"trace_id\":\"t\"}");
   listener.stop();
   accept_thread.join();
 }

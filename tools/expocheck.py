@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""CI validator for Prometheus text exposition (version 0.0.4) output.
+
+``ftmc_serve`` exposes the obs registry in Prometheus text format (the
+``expose`` request and the ``--obs-export`` mode; see
+docs/observability.md). This checker parses that output strictly and
+fails on anything a real scraper would reject or silently misread:
+
+  - malformed lines (neither a sample, a ``# TYPE``/``# HELP`` comment,
+    nor blank);
+  - invalid metric or label names, or ``# TYPE`` naming a type other
+    than counter/gauge/histogram/summary/untyped;
+  - samples appearing before their ``# TYPE`` line, or interleaved
+    metric families;
+  - values that are not valid exposition floats (``+Inf``, ``-Inf`` and
+    ``NaN`` are legal; the JSON snapshot's ``"inf"`` strings are not);
+  - histograms whose ``_bucket`` series are not cumulative
+    (non-monotone counts), lack the ``le="+Inf"`` bucket, or whose
+    ``+Inf`` bucket disagrees with ``_count``;
+  - counters or histogram counts with negative values.
+
+Usage:
+  some_producer | tools/expocheck.py          # reads stdin
+  tools/expocheck.py exposition.txt           # or a file
+
+Exit codes: 0 valid, 1 invalid, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$")
+LABEL = re.compile(r'^(?P<name>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text: str) -> float:
+    """An exposition float: plain float syntax plus +Inf/-Inf/NaN."""
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    # Reject the JSON snapshot spellings and other case variants early:
+    # a scraper would either reject them or (worse) read them as text.
+    if text.lower() in {"inf", "-inf", "+inf", "nan", '"inf"', '"-inf"'}:
+        raise ValueError(f"non-canonical non-finite value {text!r}")
+    return float(text)
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+        self.types: dict[str, str] = {}
+        self.family_order: list[str] = []
+        self.closed_families: set[str] = set()
+        # histogram family -> {"buckets": [(le, value)], "count": float|None}
+        self.histograms: dict[str, dict] = {}
+        self.samples = 0
+
+    def error(self, lineno: int, message: str) -> None:
+        self.errors.append(f"line {lineno}: {message}")
+
+    def family_of(self, name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name.removesuffix(suffix)
+            if base != name and base in self.types:
+                return base
+        return name
+
+    def enter_family(self, lineno: int, family: str) -> None:
+        if family in self.closed_families:
+            self.error(lineno, f"family {family!r} is interleaved with "
+                               "other families")
+            return
+        if self.family_order and self.family_order[-1] != family:
+            self.closed_families.add(self.family_order[-1])
+        if not self.family_order or self.family_order[-1] != family:
+            self.family_order.append(family)
+
+    def check_comment(self, lineno: int, line: str) -> None:
+        parts = line.split(None, 3)
+        if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+            # Other comments are legal and ignored.
+            return
+        name = parts[2]
+        if not METRIC_NAME.match(name):
+            self.error(lineno, f"invalid metric name {name!r} in {parts[1]}")
+            return
+        if parts[1] == "TYPE":
+            if len(parts) != 4 or parts[3] not in TYPES:
+                self.error(lineno, f"invalid TYPE line for {name!r}")
+                return
+            if name in self.types:
+                self.error(lineno, f"duplicate TYPE for {name!r}")
+                return
+            self.types[name] = parts[3]
+            self.enter_family(lineno, name)
+            if parts[3] == "histogram":
+                self.histograms[name] = {"buckets": [], "count": None}
+
+    def check_sample(self, lineno: int, line: str) -> None:
+        m = SAMPLE.match(line)
+        if m is None:
+            self.error(lineno, f"malformed line {line!r}")
+            return
+        name = m.group("name")
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            for part in self.split_labels(m.group("labels")):
+                lm = LABEL.match(part.strip())
+                if lm is None or not LABEL_NAME.match(lm.group("name")):
+                    self.error(lineno, f"malformed label {part!r}")
+                    return
+                if lm.group("name") in labels:
+                    self.error(lineno, f"duplicate label {lm.group('name')!r}")
+                    return
+                labels[lm.group("name")] = lm.group("value")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError as err:
+            self.error(lineno, str(err))
+            return
+        self.samples += 1
+
+        family = self.family_of(name)
+        if family not in self.types:
+            self.error(lineno, f"sample {name!r} has no preceding TYPE line")
+            return
+        self.enter_family(lineno, family)
+        kind = self.types[family]
+        if kind == "counter" and (value < 0 or math.isnan(value)):
+            self.error(lineno, f"counter {name!r} has value {value}")
+        if kind != "histogram":
+            return
+
+        hist = self.histograms[family]
+        if name == family + "_bucket":
+            if "le" not in labels:
+                self.error(lineno, f"{name!r} sample without an le label")
+                return
+            try:
+                le = parse_value(labels["le"])
+            except ValueError:
+                self.error(lineno, f"invalid le value {labels['le']!r}")
+                return
+            if value < 0 or math.isnan(value):
+                self.error(lineno, f"bucket {name!r} has count {value}")
+            hist["buckets"].append((lineno, le, value))
+        elif name == family + "_count":
+            if value < 0 or math.isnan(value):
+                self.error(lineno, f"{name!r} is {value}")
+            hist["count"] = value
+
+    @staticmethod
+    def split_labels(text: str) -> list[str]:
+        """Split on commas outside quoted label values."""
+        parts, depth, current = [], False, []
+        for ch in text:
+            if ch == '"' and (not current or current[-1] != "\\"):
+                depth = not depth
+            if ch == "," and not depth:
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+        if current:
+            parts.append("".join(current))
+        return parts
+
+    def finish(self) -> None:
+        for family, hist in self.histograms.items():
+            buckets = hist["buckets"]
+            if not buckets:
+                self.errors.append(f"histogram {family!r} has no _bucket "
+                                   "samples")
+                continue
+            bounds = [le for (_, le, _) in buckets]
+            if bounds != sorted(bounds):
+                self.errors.append(f"histogram {family!r} buckets are not "
+                                   "in ascending le order")
+            if not math.isinf(bounds[-1]):
+                self.errors.append(f"histogram {family!r} lacks the "
+                                   'le="+Inf" bucket')
+            counts = [v for (_, le, v) in buckets]
+            for i in range(1, len(counts)):
+                if counts[i] < counts[i - 1]:
+                    self.errors.append(
+                        f"histogram {family!r} buckets are not cumulative: "
+                        f"count drops at le={bounds[i]}")
+                    break
+            if (hist["count"] is not None and buckets
+                    and math.isinf(bounds[-1])
+                    and counts[-1] != hist["count"]):
+                self.errors.append(
+                    f"histogram {family!r}: le=\"+Inf\" bucket "
+                    f"({counts[-1]}) != _count ({hist['count']})")
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] not in ("-", "--help", "-h"):
+        with open(sys.argv[1]) as fh:
+            text = fh.read()
+    elif len(sys.argv) == 2 and sys.argv[1] in ("--help", "-h"):
+        print(__doc__)
+        return 0
+    else:
+        text = sys.stdin.read()
+
+    checker = Checker()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            checker.check_comment(lineno, line)
+        else:
+            checker.check_sample(lineno, line)
+    checker.finish()
+
+    if checker.errors:
+        for err in checker.errors:
+            print(f"expocheck: {err}", file=sys.stderr)
+        print(f"expocheck: INVALID ({len(checker.errors)} errors in "
+              f"{checker.samples} samples)", file=sys.stderr)
+        return 1
+    print(f"expocheck: ok ({checker.samples} samples, "
+          f"{len(checker.types)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,15 @@ on a quiet machine and commit the result.
 
 Usage:
   tools/perf_gate.py --telemetry-dir bench-telemetry \
-      [--baseline bench/perf_baseline.json] [--min-ratio 0.2] [--update]
+      [--baseline bench/perf_baseline.json] [--min-ratio 0.2] [--update] \
+      [--benches name1,name2]
+
+``--benches`` restricts the run to a comma-separated subset of baseline
+entries — CI jobs that only produce some of the telemetry (the serve
+smoke produces serve_throughput but not the fig3 sweeps) gate just their
+own benches without tripping MISSING failures for the others. With
+``--update`` the subset is merged into the existing baseline instead of
+replacing it.
 
 Environment:
   FTMC_PERF_MIN_RATIO  overrides the tolerance (and --min-ratio).
@@ -55,7 +63,17 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from current telemetry "
                              "instead of gating")
+    parser.add_argument("--benches", type=str, default=None,
+                        help="comma-separated bench names: gate (or merge-"
+                             "update) only these baseline entries")
     args = parser.parse_args()
+
+    selected: set[str] | None = None
+    if args.benches is not None:
+        selected = {n.strip() for n in args.benches.split(",") if n.strip()}
+        if not selected:
+            print("perf_gate: --benches selected nothing", file=sys.stderr)
+            return 2
 
     if not args.telemetry_dir.is_dir():
         print(f"perf_gate: no such telemetry dir: {args.telemetry_dir}",
@@ -69,6 +87,9 @@ def main() -> int:
         if value is not None:
             measured[name] = value
 
+    if selected is not None:
+        measured = {k: v for k, v in measured.items() if k in selected}
+
     if args.update:
         doc = {
             "_comment": "Perf-regression baseline for tools/perf_gate.py: "
@@ -80,7 +101,12 @@ def main() -> int:
         }
         if args.baseline.exists():
             old = json.loads(args.baseline.read_text())
+            doc["_comment"] = old.get("_comment", doc["_comment"])
             doc["min_ratio"] = old.get("min_ratio", doc["min_ratio"])
+            if selected is not None:
+                merged = dict(old.get("items_per_sec", {}))
+                merged.update(doc["items_per_sec"])
+                doc["items_per_sec"] = dict(sorted(merged.items()))
         args.baseline.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"perf_gate: baseline updated with {len(measured)} benches "
               f"-> {args.baseline}")
@@ -92,6 +118,13 @@ def main() -> int:
         return 2
     baseline_doc = json.loads(args.baseline.read_text())
     baseline: dict[str, float] = baseline_doc.get("items_per_sec", {})
+    if selected is not None:
+        missing = selected - set(baseline)
+        if missing:
+            print(f"perf_gate: --benches names not in the baseline: "
+                  f"{', '.join(sorted(missing))}", file=sys.stderr)
+            return 2
+        baseline = {k: v for k, v in baseline.items() if k in selected}
     if not baseline:
         print("perf_gate: baseline gates no benches", file=sys.stderr)
         return 2
