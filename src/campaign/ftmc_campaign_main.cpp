@@ -1,9 +1,14 @@
 /// \file ftmc_campaign_main.cpp
 /// \brief The `ftmc_campaign` CLI: run, resume, expand and print
-///        declarative experiment campaigns (see docs/campaigns.md).
+///        declarative experiment campaigns (see docs/campaigns.md),
+///        plus the distributed modes — `coordinate`, `worker` and
+///        `run --fleet N` (coordinator + N local worker processes).
 ///
 /// Exit codes: 0 = campaign complete, 3 = stopped early (--max-cells),
 /// 2 = usage / input error, 1 = runtime failure.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -16,6 +21,8 @@
 #include "ftmc/campaign/spec.hpp"
 #include "ftmc/common/expected.hpp"
 #include "ftmc/exec/stats.hpp"
+#include "ftmc/fleet/service.hpp"
+#include "ftmc/fleet/worker.hpp"
 #include "ftmc/io/json.hpp"
 #include "ftmc/obs/progress.hpp"
 #include "ftmc/obs/registry.hpp"
@@ -28,17 +35,38 @@ using namespace ftmc;
 constexpr const char* kUsage = R"(usage: ftmc_campaign <command> [options]
 
 commands:
-  run    --spec FILE [--out DIR]    expand and run a campaign spec
-  resume DIR                        continue the campaign persisted in DIR
-  expand --spec FILE                list cells and cache hashes (dry run)
-  print  DIR                        render DIR/results.json as CSV
+  run        --spec FILE [--out DIR]  expand and run a campaign spec
+  resume     DIR                      continue the campaign persisted in DIR
+  expand     --spec FILE              list cells and cache hashes (dry run)
+  print      DIR                      render DIR/results.json as CSV
+  coordinate --spec FILE --out DIR    serve the campaign to fleet workers
+  worker     --connect HOST:PORT      lease and compute cells for a
+                                      coordinator
 
 options (run / resume):
-  --threads N     worker threads (1 = serial, 0 = all hardware threads)
-  --max-cells N   stop after N newly computed cells (crash drill)
-  --progress      live progress meter on stderr
-  --trace-out F   write a Chrome trace of the run to F
-  --stats         print per-phase run counters on completion
+  --threads N       worker threads (1 = serial, 0 = all hardware threads)
+  --max-cells N     stop after N newly computed cells (crash drill)
+  --progress        live progress meter on stderr
+  --trace-out F     write a Chrome trace of the run to F
+  --stats           print per-phase run counters on completion
+  --fleet N         run: shard across N local worker processes instead of
+                    in-process threads (results are byte-identical)
+
+options (coordinate):
+  --port P          TCP port (default 0 = ephemeral; the chosen endpoint
+                    is printed as "listening on 127.0.0.1:PORT")
+  --port-file F     also write the chosen port to F (atomic)
+  --lease-cells K   cells per lease (default 8)
+  --lease-ttl-ms T  reissue a lease not answered within T ms
+                    (default 30000)
+  --linger-ms L     after completion, wait up to L ms for workers to
+                    collect their goodbye (default 2000)
+
+options (worker):
+  --threads N       threads per lease (default 1)
+  --name S          worker name for telemetry (default "worker")
+  --poll-ms N       wait between polls while the grid is drained
+  --throttle-ms N   artificial per-cell delay (crash-drill pacing)
 
 `ftmc_campaign --resume DIR` is accepted as an alias for `resume DIR`.
 )";
@@ -52,6 +80,17 @@ struct CliOptions {
   bool progress = false;
   bool stats = false;
   std::string trace_out;
+  // Fleet modes.
+  int fleet = 0;
+  int port = 0;
+  std::string port_file;
+  long long lease_cells = 8;
+  long long lease_ttl_ms = 30000;
+  long long linger_ms = 2000;
+  std::string connect;
+  std::string name = "worker";
+  int poll_ms = 200;
+  int throttle_ms = 0;
 };
 
 [[nodiscard]] Expected<long long> parse_int(const std::string& flag,
@@ -76,7 +115,8 @@ struct CliOptions {
     opt.command = "resume";
     ++i;
   } else if (first == "run" || first == "resume" || first == "expand" ||
-             first == "print") {
+             first == "print" || first == "coordinate" ||
+             first == "worker") {
     opt.command = first;
     ++i;
   } else if (first == "--help" || first == "-h") {
@@ -86,6 +126,16 @@ struct CliOptions {
     return Fail::failure("ftmc_campaign: unknown command \"" + first +
                          "\"\n" + kUsage);
   }
+
+  // Integer-valued flags shared by the fleet modes: flag -> (slot, min).
+  const auto int_flag = [&opt](const std::string& flag)
+      -> std::pair<long long*, long long> {
+    if (flag == "--fleet") return {nullptr, 0};  // handled inline (int)
+    if (flag == "--lease-cells") return {&opt.lease_cells, 1};
+    if (flag == "--lease-ttl-ms") return {&opt.lease_ttl_ms, 1};
+    if (flag == "--linger-ms") return {&opt.linger_ms, 0};
+    return {nullptr, 0};
+  };
 
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -104,12 +154,32 @@ struct CliOptions {
       auto v = value();
       if (!v) return Fail::failure(v.error());
       opt.dir = *v;
-    } else if (flag == "--threads") {
+    } else if (flag == "--threads" || flag == "--port" ||
+               flag == "--fleet" || flag == "--poll-ms" ||
+               flag == "--throttle-ms") {
       auto v = value();
       if (!v) return Fail::failure(v.error());
       auto n = parse_int(flag, *v);
       if (!n) return Fail::failure(n.error());
-      opt.threads = static_cast<int>(*n);
+      if (flag != "--threads" && *n < 0) {
+        return Fail::failure("ftmc_campaign: " + flag +
+                             " expects a non-negative integer");
+      }
+      if (flag == "--threads") opt.threads = static_cast<int>(*n);
+      else if (flag == "--port") opt.port = static_cast<int>(*n);
+      else if (flag == "--fleet") opt.fleet = static_cast<int>(*n);
+      else if (flag == "--poll-ms") opt.poll_ms = static_cast<int>(*n);
+      else opt.throttle_ms = static_cast<int>(*n);
+    } else if (long long* slot = int_flag(flag).first; slot != nullptr) {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      auto n = parse_int(flag, *v);
+      if (!n || *n < int_flag(flag).second) {
+        return Fail::failure("ftmc_campaign: " + flag +
+                             " expects an integer >= " +
+                             std::to_string(int_flag(flag).second));
+      }
+      *slot = *n;
     } else if (flag == "--max-cells") {
       auto v = value();
       if (!v) return Fail::failure(v.error());
@@ -119,6 +189,18 @@ struct CliOptions {
                              "non-negative integer");
       }
       opt.max_cells = static_cast<std::size_t>(*n);
+    } else if (flag == "--port-file") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.port_file = *v;
+    } else if (flag == "--connect") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.connect = *v;
+    } else if (flag == "--name") {
+      auto v = value();
+      if (!v) return Fail::failure(v.error());
+      opt.name = *v;
     } else if (flag == "--progress") {
       opt.progress = true;
     } else if (flag == "--stats") {
@@ -139,7 +221,8 @@ struct CliOptions {
     }
   }
 
-  if (opt.command == "run" || opt.command == "expand") {
+  if (opt.command == "run" || opt.command == "expand" ||
+      opt.command == "coordinate") {
     if (opt.spec_path.empty()) {
       return Fail::failure("ftmc_campaign: " + opt.command +
                            " requires --spec FILE");
@@ -149,6 +232,16 @@ struct CliOptions {
       opt.dir.empty()) {
     return Fail::failure("ftmc_campaign: " + opt.command +
                          " requires a campaign DIR");
+  }
+  if (opt.command == "coordinate" && opt.dir.empty()) {
+    return Fail::failure("ftmc_campaign: coordinate requires --out DIR");
+  }
+  if (opt.command == "worker" && opt.connect.empty()) {
+    return Fail::failure(
+        "ftmc_campaign: worker requires --connect HOST:PORT");
+  }
+  if (opt.fleet > 0 && opt.command != "run") {
+    return Fail::failure("ftmc_campaign: --fleet only applies to run");
   }
   return opt;
 }
@@ -170,6 +263,124 @@ void print_summary(const campaign::CampaignResult& result) {
               << outcome.ratio_without() << "," << outcome.ratio_with()
               << "\n";
   }
+}
+
+[[nodiscard]] std::vector<std::string> argv_vector(int argc, char** argv) {
+  return std::vector<std::string>(argv, argv + argc);
+}
+
+[[nodiscard]] fleet::CoordinatorOptions coordinator_options(
+    const CliOptions& opt) {
+  fleet::CoordinatorOptions options;
+  options.dir = opt.dir;
+  options.lease_cells = static_cast<std::size_t>(opt.lease_cells);
+  options.lease_ttl_ms = opt.lease_ttl_ms;
+  return options;
+}
+
+[[nodiscard]] fleet::ServiceOptions service_options(const CliOptions& opt) {
+  fleet::ServiceOptions options;
+  options.net.port = static_cast<std::uint16_t>(opt.port);
+  options.linger_ms = opt.linger_ms;
+  return options;
+}
+
+/// Spawns one worker process speaking to 127.0.0.1:port; the child
+/// re-execs this binary's `worker` command, so coordinator and workers
+/// provably run the same code. Returns -1 on fork failure.
+[[nodiscard]] pid_t spawn_worker(std::uint16_t port, int index,
+                                 const CliOptions& opt) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port);
+  const std::string threads = std::to_string(opt.threads);
+  const std::string name = "w" + std::to_string(index);
+  execl("/proc/self/exe", "ftmc_campaign", "worker", "--connect",
+        endpoint.c_str(), "--threads", threads.c_str(), "--name",
+        name.c_str(), static_cast<char*>(nullptr));
+  // exec only returns on failure; _exit keeps the child out of the
+  // parent's atexit/stream state.
+  _exit(127);
+}
+
+int cmd_coordinate(const CliOptions& opt, int argc, char** argv) {
+  obs::Registry::global().enable();
+  fleet::CoordinatorService service(campaign::load_spec_file(opt.spec_path),
+                                    coordinator_options(opt),
+                                    service_options(opt));
+  std::cout << "listening on 127.0.0.1:" << service.port() << std::endl;
+  if (!opt.port_file.empty()) {
+    campaign::write_file_atomic(opt.port_file,
+                                std::to_string(service.port()) + "\n");
+  }
+  const campaign::CampaignResult result = service.serve();
+  service.write_bench_report(argv_vector(argc, argv));
+  print_summary(result);
+  return result.complete ? 0 : 3;
+}
+
+int cmd_worker(const CliOptions& opt) {
+  const std::size_t colon = opt.connect.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= opt.connect.size()) {
+    std::cerr << "ftmc_campaign: --connect expects HOST:PORT, got \""
+              << opt.connect << "\"\n";
+    return 2;
+  }
+  const Expected<long long> port =
+      parse_int("--connect", opt.connect.substr(colon + 1));
+  if (!port || *port <= 0 || *port > 65535) {
+    std::cerr << "ftmc_campaign: bad port in \"" << opt.connect << "\"\n";
+    return 2;
+  }
+  obs::Registry::global().enable();
+
+  fleet::WorkerOptions options;
+  options.host = opt.connect.substr(0, colon);
+  options.port = static_cast<std::uint16_t>(*port);
+  options.threads = opt.threads == 0 ? 1 : opt.threads;
+  options.name = opt.name;
+  options.poll_ms = opt.poll_ms;
+  options.throttle_ms = opt.throttle_ms;
+  const fleet::WorkerReport report = fleet::run_worker(options);
+  std::cerr << "worker " << options.name << ": " << report.cells_computed
+            << " cells over " << report.leases << " leases in "
+            << report.wall_seconds << " s\n";
+  return 0;
+}
+
+int cmd_run_fleet(const CliOptions& opt, int argc, char** argv) {
+  obs::Registry::global().enable();
+  fleet::CoordinatorService service(campaign::load_spec_file(opt.spec_path),
+                                    coordinator_options(opt),
+                                    service_options(opt));
+
+  std::vector<pid_t> workers;
+  for (int k = 0; k < opt.fleet; ++k) {
+    const pid_t pid = spawn_worker(service.port(), k, opt);
+    if (pid < 0) {
+      std::cerr << "ftmc_campaign: fork failed\n";
+      service.stop();
+      break;
+    }
+    workers.push_back(pid);
+  }
+
+  const campaign::CampaignResult result = service.serve();
+
+  bool workers_ok = !workers.empty();
+  for (const pid_t pid : workers) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      workers_ok = false;
+    }
+  }
+  if (!workers_ok) std::cerr << "ftmc_campaign: worker failure\n";
+
+  service.write_bench_report(argv_vector(argc, argv));
+  print_summary(result);
+  if (!result.complete) return 3;
+  return workers_ok ? 0 : 1;
 }
 
 int cmd_run_or_resume(const CliOptions& opt) {
@@ -253,6 +464,11 @@ int main(int argc, char** argv) {
   try {
     if (opt.command == "expand") return cmd_expand(opt);
     if (opt.command == "print") return cmd_print(opt);
+    if (opt.command == "coordinate") return cmd_coordinate(opt, argc, argv);
+    if (opt.command == "worker") return cmd_worker(opt);
+    if (opt.command == "run" && opt.fleet > 0) {
+      return cmd_run_fleet(opt, argc, argv);
+    }
     return cmd_run_or_resume(opt);
   } catch (const io::ParseError& e) {
     std::cerr << "ftmc_campaign: " << e.what() << "\n";

@@ -126,4 +126,13 @@ struct CampaignResult {
 /// give equal bytes (the resume bit-identity contract).
 [[nodiscard]] std::string results_to_json(const CampaignResult& result);
 
+/// Canonical journal form: one CellRecord line per completed cell, in
+/// expansion order. During a run the on-disk journal appends in
+/// completion order (crash safety first); once a campaign completes,
+/// the runner — and the fleet coordinator — atomically replace
+/// journal.jsonl with this form, so the finished journal is
+/// byte-identical no matter how many threads, processes or fleet
+/// workers computed it, or in which order their leases landed.
+[[nodiscard]] std::string canonical_journal(const CampaignResult& result);
+
 }  // namespace ftmc::campaign

@@ -186,6 +186,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   result.complete = (to_run == pending.size());
 
   if (result.complete && !options.dir.empty()) {
+    // Rewrite the journal in canonical (expansion) order before the
+    // results: the finished directory is then byte-identical across
+    // thread counts, resumes and fleet worker interleavings.
+    write_file_atomic(options.dir + "/journal.jsonl",
+                      canonical_journal(result));
     result.results_path = options.dir + "/results.json";
     write_file_atomic(result.results_path, results_to_json(result) + "\n");
   }
@@ -197,6 +202,18 @@ CampaignResult resume_campaign(const std::string& dir,
   const CampaignSpec spec = load_spec_file(dir + "/spec.json");
   options.dir = dir;
   return run_campaign(spec, options);
+}
+
+std::string canonical_journal(const CampaignResult& result) {
+  std::string out;
+  for (const CellOutcome& outcome : result.cells) {
+    if (!outcome.completed) continue;
+    out += record_to_json(CellRecord{outcome.hash,
+                                     outcome.counts.accept_without,
+                                     outcome.counts.accept_with});
+    out += '\n';
+  }
+  return out;
 }
 
 std::string results_to_json(const CampaignResult& result) {

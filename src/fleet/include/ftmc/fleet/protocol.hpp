@@ -1,0 +1,78 @@
+/// \file protocol.hpp
+/// \brief The ftmc-fleet-v1 wire protocol: JSON documents inside
+///        net::frame frames, spoken between one campaign coordinator
+///        and N workers.
+///
+/// Conversation (worker drives; every message is answered):
+///
+///   -> {"type":"hello","protocol":"ftmc-fleet-v1","worker":W}
+///   <- {"type":"welcome","protocol":...,"spec":{...},"cells_total":N,
+///       "lease_cells":K,"complete":B}
+///   -> {"type":"lease","worker":W}
+///   <- {"type":"lease","lease_id":L,"indices":[...],"complete":false}
+///    | {"type":"drained","complete":false}     (all cells leased out —
+///                                               poll again shortly)
+///    | {"type":"done","complete":true}         (campaign finished)
+///   -> {"type":"result","worker":W,"lease_id":L,"records":[
+///        {"index":I,"hash":H,"accept_without":A,"accept_with":B},...]}
+///   <- {"type":"ack","accepted":N,"duplicates":D,"rejected":R,
+///       "complete":B}
+///   -> {"type":"bye","worker":W,"cells_computed":N,"wall_seconds":S,
+///       "metrics":{...}}                        (registry snapshot)
+///   <- {"type":"goodbye","complete":B}
+///
+/// Design notes:
+///  - the spec travels once, in welcome; leases carry only cell
+///    *indices* because expand_cells is a pure function of the spec —
+///    worker and coordinator provably agree on what every index means,
+///    and the coordinator cross-checks each returned record's content
+///    hash against its own cell_hash before accepting it;
+///  - results are idempotent: a record is a pure function of its cell,
+///    so a re-delivered or expired-lease result is a no-op (counted as
+///    a duplicate), never a conflict — which is what makes crash-driven
+///    lease reissue safe;
+///  - "complete" rides on every response so a worker learns the
+///    campaign finished no matter which message it was sending.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftmc/campaign/journal.hpp"
+#include "ftmc/io/json.hpp"
+
+namespace ftmc::fleet {
+
+/// Protocol identifier sent in hello/welcome; a mismatch is an error.
+inline constexpr std::string_view kProtocolVersion = "ftmc-fleet-v1";
+
+/// One computed cell travelling back to the coordinator: the campaign
+/// CellRecord plus the cell's expansion index (the coordinator verifies
+/// hash == cell_hash(cells[index]) before merging).
+struct ResultRecord {
+  std::size_t index = 0;
+  campaign::CellRecord record;
+};
+
+/// Request builders (worker side).
+[[nodiscard]] std::string hello_to_json(std::string_view worker);
+[[nodiscard]] std::string lease_to_json(std::string_view worker);
+[[nodiscard]] std::string result_to_json(
+    std::string_view worker, std::uint64_t lease_id,
+    const std::vector<ResultRecord>& records);
+/// `metrics_json` is the worker's obs registry snapshot (raw JSON);
+/// empty omits the field.
+[[nodiscard]] std::string bye_to_json(std::string_view worker,
+                                      std::uint64_t cells_computed,
+                                      double wall_seconds,
+                                      std::string_view metrics_json);
+
+/// Parses the records array of a result request. Throws
+/// ftmc::io::ParseError on malformed entries.
+[[nodiscard]] std::vector<ResultRecord> parse_result_records(
+    const io::json::Value& request);
+
+}  // namespace ftmc::fleet

@@ -1,0 +1,63 @@
+/// \file worker.hpp
+/// \brief The fleet worker: connects to a coordinator, leases cell
+///        ranges, computes them with campaign::run_cell on the local
+///        exec pool, and streams the records back.
+///
+/// A worker is stateless beyond its open connection: everything it
+/// needs it re-derives from the welcome message (the canonical spec
+/// expands to the same cell grid on every machine, so leases carry only
+/// indices). Losing a worker therefore loses nothing but time — its
+/// leases expire and are reissued, and a worker that reconnects simply
+/// says hello again.
+///
+/// Failure policy: connect and call timeouts come from ftmc::net; on a
+/// timeout or a dropped connection the worker reconnects with bounded
+/// backoff and re-enters the lease loop. Records it computed but could
+/// not deliver are discarded — the coordinator will hand those cells to
+/// someone else, and run_cell is a pure function, so the recomputation
+/// is byte-equal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftmc::fleet {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Worker name, echoed in every request (telemetry + lease bookkeeping
+  /// on the coordinator).
+  std::string name = "worker";
+  /// exec convention: 1 = serial, <= 0 = one thread per hardware thread.
+  int threads = 1;
+  /// Wait between lease polls when the coordinator reports drained.
+  int poll_ms = 200;
+  int connect_timeout_ms = 10000;
+  /// Per-call response deadline. Generous: a coordinator merging a big
+  /// result batch answers in microseconds, so hitting this means the
+  /// peer is gone.
+  int read_timeout_ms = 30000;
+  /// Reconnect attempts after a lost connection before giving up
+  /// (connect errors during the initial hello also count).
+  int reconnect_attempts = 10;
+  int reconnect_backoff_ms = 200;
+  /// Artificial per-cell delay. The CI crash drill throttles one worker
+  /// so it is provably mid-lease when the drill kills it.
+  int throttle_ms = 0;
+};
+
+struct WorkerReport {
+  std::uint64_t cells_computed = 0;
+  std::uint64_t leases = 0;
+  std::uint64_t reconnects = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the lease loop until the coordinator reports the campaign
+/// complete. Throws std::runtime_error when the coordinator is
+/// unreachable past the reconnect budget or answers with a protocol
+/// error.
+[[nodiscard]] WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace ftmc::fleet

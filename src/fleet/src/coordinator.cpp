@@ -1,0 +1,342 @@
+#include "ftmc/fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "ftmc/io/json.hpp"
+#include "ftmc/io/parse_error.hpp"
+
+namespace ftmc::fleet {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+FleetMetrics FleetMetrics::global() {
+  obs::Registry& reg = obs::Registry::global();
+  return {reg.counter("fleet.leases_issued"),
+          reg.counter("fleet.leases_expired"),
+          reg.counter("fleet.leases_reissued"),
+          reg.counter("fleet.results_total"),
+          reg.counter("fleet.records_accepted"),
+          reg.counter("fleet.records_duplicate"),
+          reg.counter("fleet.records_rejected"),
+          reg.counter("fleet.workers_connected"),
+          reg.gauge("fleet.workers_active"),
+          reg.histogram("fleet.merge_latency_us")};
+}
+
+Coordinator::Coordinator(campaign::CampaignSpec spec,
+                         CoordinatorOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  spec_.validate();
+  const std::vector<campaign::CellSpec> cells = campaign::expand_cells(spec_);
+
+  campaign::HashCache<campaign::CellCounts> cache;
+  if (!options_.dir.empty()) {
+    std::filesystem::create_directories(options_.dir);
+    campaign::write_file_atomic(options_.dir + "/spec.json",
+                                campaign::spec_to_json(spec_) + "\n");
+    const std::string journal_path = options_.dir + "/journal.jsonl";
+    campaign::Journal::LoadResult replay =
+        campaign::Journal::load(journal_path);
+    for (campaign::CellRecord& record : replay.records) {
+      cache.insert(record.hash, campaign::CellCounts{record.accept_without,
+                                                     record.accept_with});
+    }
+    journal_.emplace(journal_path);
+  }
+
+  cells_.resize(cells.size());
+  for (const campaign::CellSpec& cell : cells) {
+    campaign::CellOutcome& outcome = cells_[cell.index];
+    outcome.cell = cell;
+    outcome.hash = campaign::cell_hash(cell);
+    if (const auto hit = cache.lookup(outcome.hash)) {
+      outcome.counts = *hit;
+      outcome.completed = true;
+      outcome.from_cache = true;
+      ++completed_;
+      ++cache_hits_;
+    } else {
+      pending_.push_back(cell.index);
+    }
+  }
+
+  if (completed_ == cells_.size()) {
+    completed_at_ms_ = options_.now_ms();
+    finalize();
+  }
+}
+
+std::string Coordinator::handle(std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return handle_locked(payload);
+}
+
+std::string Coordinator::handle_locked(std::string_view payload) {
+  expire_leases();
+  io::json::Value request;
+  std::string type;
+  try {
+    request = io::json::parse(payload);
+    type = request.at("type").as_string();
+    if (type == "hello") return do_hello(request);
+    if (type == "lease") return do_lease(request);
+    if (type == "result") return do_result(request);
+    if (type == "bye") return do_bye(request);
+  } catch (const io::ParseError& e) {
+    return error_response(e.what());
+  }
+  return error_response("unknown request type \"" + type + "\"");
+}
+
+std::string Coordinator::do_hello(const io::json::Value& request) {
+  const std::string& protocol = request.at("protocol").as_string();
+  if (protocol != kProtocolVersion) {
+    return error_response("protocol mismatch: coordinator speaks " +
+                          std::string(kProtocolVersion) + ", worker sent " +
+                          protocol);
+  }
+  const std::string& worker = request.at("worker").as_string();
+  if (active_workers_.insert(worker).second) {
+    metrics_.workers_connected.inc();
+    metrics_.workers_active.set(
+        static_cast<double>(active_workers_.size()));
+  }
+  return io::json::Object{}
+      .add_string("type", "welcome")
+      .add_string("protocol", kProtocolVersion)
+      .add_raw("spec", campaign::spec_to_json(spec_))
+      .add_int("cells_total", static_cast<long long>(cells_.size()))
+      .add_int("lease_cells", static_cast<long long>(options_.lease_cells))
+      .add_bool("complete", completed_ == cells_.size())
+      .str();
+}
+
+std::string Coordinator::do_lease(const io::json::Value& request) {
+  const std::string& worker = request.at("worker").as_string();
+  if (completed_ == cells_.size()) {
+    return io::json::Object{}
+        .add_string("type", "done")
+        .add_bool("complete", true)
+        .str();
+  }
+  if (pending_.empty()) {
+    // Everything outstanding is leased; the worker polls again and picks
+    // up any lease that expires in the meantime.
+    return io::json::Object{}
+        .add_string("type", "drained")
+        .add_bool("complete", false)
+        .str();
+  }
+
+  Lease lease;
+  lease.worker = worker;
+  lease.deadline_ms = options_.now_ms() + options_.lease_ttl_ms;
+  const std::size_t take =
+      std::min(options_.lease_cells == 0 ? std::size_t{1}
+                                         : options_.lease_cells,
+               pending_.size());
+  std::vector<std::string> indices;
+  indices.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t index = pending_.front();
+    pending_.pop_front();
+    lease.indices.push_back(index);
+    indices.push_back(std::to_string(index));
+  }
+  const std::uint64_t lease_id = next_lease_id_++;
+  leases_.emplace(lease_id, std::move(lease));
+  metrics_.leases_issued.inc();
+  return io::json::Object{}
+      .add_string("type", "lease")
+      .add_int("lease_id", static_cast<long long>(lease_id))
+      .add_raw("indices", io::json::array(indices))
+      .add_bool("complete", false)
+      .str();
+}
+
+std::string Coordinator::do_result(const io::json::Value& request) {
+  const auto start = std::chrono::steady_clock::now();
+  metrics_.results_total.inc();
+
+  std::vector<ResultRecord> records = parse_result_records(request);
+  std::size_t accepted = 0;
+  std::size_t duplicates = 0;
+  std::size_t rejected = 0;
+  for (const ResultRecord& record : records) {
+    const std::string_view verdict = fold_record(record);
+    if (verdict == "accepted") ++accepted;
+    else if (verdict == "duplicate") ++duplicates;
+    else ++rejected;
+  }
+
+  // Retire the lease. Indices the records did not cover (a worker that
+  // delivered partially, which the reference worker never does) go back
+  // to pending rather than waiting for expiry.
+  const std::uint64_t lease_id = request.at("lease_id").as_uint64();
+  if (const auto it = leases_.find(lease_id); it != leases_.end()) {
+    for (const std::size_t index : it->second.indices) {
+      if (!cells_[index].completed) pending_.push_back(index);
+    }
+    leases_.erase(it);
+  }
+
+  if (completed_ == cells_.size() && !completed_at_ms_) {
+    completed_at_ms_ = options_.now_ms();
+    finalize();
+  }
+  metrics_.merge_latency_us.observe(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return io::json::Object{}
+      .add_string("type", "ack")
+      .add_int("accepted", static_cast<long long>(accepted))
+      .add_int("duplicates", static_cast<long long>(duplicates))
+      .add_int("rejected", static_cast<long long>(rejected))
+      .add_bool("complete", completed_ == cells_.size())
+      .str();
+}
+
+std::string Coordinator::do_bye(const io::json::Value& request) {
+  const std::string& worker = request.at("worker").as_string();
+  if (active_workers_.erase(worker) > 0) {
+    metrics_.workers_active.set(
+        static_cast<double>(active_workers_.size()));
+  }
+  // Per-worker telemetry lands as gauges in the coordinator's registry,
+  // so one BENCH_fleet.json snapshot carries the whole fleet.
+  const io::json::Value* cells = request.find("cells_computed");
+  const io::json::Value* wall = request.find("wall_seconds");
+  if (cells != nullptr && wall != nullptr) {
+    obs::Registry& reg = obs::Registry::global();
+    const double computed = static_cast<double>(cells->as_uint64());
+    const double seconds = wall->as_number();
+    reg.gauge("fleet.worker." + worker + ".cells_computed").set(computed);
+    reg.gauge("fleet.worker." + worker + ".cells_per_sec")
+        .set(seconds > 0.0 ? computed / seconds : 0.0);
+  }
+  return io::json::Object{}
+      .add_string("type", "goodbye")
+      .add_bool("complete", completed_ == cells_.size())
+      .str();
+}
+
+std::string Coordinator::error_response(std::string_view message) const {
+  return io::json::Object{}
+      .add_string("type", "error")
+      .add_string("error", message)
+      .add_bool("complete", completed_ == cells_.size())
+      .str();
+}
+
+void Coordinator::expire_leases() {
+  const std::int64_t now = options_.now_ms();
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.deadline_ms > now) {
+      ++it;
+      continue;
+    }
+    metrics_.leases_expired.inc();
+    for (const std::size_t index : it->second.indices) {
+      if (!cells_[index].completed) {
+        // Front of the queue: reissued cells should not wait behind the
+        // whole remaining grid a second time.
+        pending_.push_front(index);
+        metrics_.leases_reissued.inc();
+      }
+    }
+    it = leases_.erase(it);
+  }
+}
+
+std::string_view Coordinator::fold_record(const ResultRecord& record) {
+  if (record.index >= cells_.size()) {
+    metrics_.records_rejected.inc();
+    return "rejected";
+  }
+  campaign::CellOutcome& outcome = cells_[record.index];
+  if (record.record.hash != outcome.hash) {
+    // The worker expanded a different grid than we did — version skew or
+    // a corrupted message. Never merge it.
+    metrics_.records_rejected.inc();
+    return "rejected";
+  }
+  if (outcome.completed) {
+    metrics_.records_duplicate.inc();
+    return "duplicate";
+  }
+  outcome.counts = campaign::CellCounts{record.record.accept_without,
+                                        record.record.accept_with};
+  outcome.completed = true;
+  ++completed_;
+  metrics_.records_accepted.inc();
+  if (journal_) journal_->append(record.record);
+  return "accepted";
+}
+
+void Coordinator::finalize() {
+  if (finalized_ || options_.dir.empty()) {
+    finalized_ = true;
+    return;
+  }
+  finalized_ = true;
+  const campaign::CampaignResult merged = [this] {
+    campaign::CampaignResult r;
+    r.spec = spec_;
+    r.cells = cells_;
+    r.cells_total = cells_.size();
+    r.cells_run = completed_ - cache_hits_;
+    r.cache_hits = cache_hits_;
+    r.complete = true;
+    r.results_path = options_.dir + "/results.json";
+    return r;
+  }();
+  campaign::write_file_atomic(options_.dir + "/journal.jsonl",
+                              campaign::canonical_journal(merged));
+  campaign::write_file_atomic(merged.results_path,
+                              campaign::results_to_json(merged) + "\n");
+}
+
+bool Coordinator::complete() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_ == cells_.size();
+}
+
+std::optional<std::int64_t> Coordinator::completed_at_ms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_at_ms_;
+}
+
+std::size_t Coordinator::active_workers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return active_workers_.size();
+}
+
+std::size_t Coordinator::cells_completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+campaign::CampaignResult Coordinator::result() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  campaign::CampaignResult r;
+  r.spec = spec_;
+  r.cells = cells_;
+  r.cells_total = cells_.size();
+  r.cells_run = completed_ - cache_hits_;
+  r.cache_hits = cache_hits_;
+  r.complete = completed_ == cells_.size();
+  if (r.complete && !options_.dir.empty()) {
+    r.results_path = options_.dir + "/results.json";
+  }
+  return r;
+}
+
+}  // namespace ftmc::fleet

@@ -1,0 +1,90 @@
+#include "ftmc/fleet/service.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "ftmc/campaign/journal.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/obs/registry.hpp"
+
+namespace ftmc::fleet {
+
+namespace {
+
+[[nodiscard]] net::FramedServerOptions fleet_net_options(
+    net::FramedServerOptions options) {
+  options.metrics_prefix = "fleet";
+  return options;
+}
+
+}  // namespace
+
+CoordinatorService::CoordinatorService(campaign::CampaignSpec spec,
+                                       CoordinatorOptions coordinator_options,
+                                       ServiceOptions service_options)
+    : coordinator_(std::move(spec), coordinator_options),
+      server_(
+          [this](std::string_view payload) {
+            return coordinator_.handle(payload);
+          },
+          fleet_net_options(service_options.net),
+          [this, now = coordinator_options.now_ms,
+           linger = service_options.linger_ms] {
+            if (!coordinator_.complete()) return false;
+            if (coordinator_.active_workers() == 0) return true;
+            const std::optional<std::int64_t> at =
+                coordinator_.completed_at_ms();
+            return at.has_value() && now() - *at >= linger;
+          }) {}
+
+campaign::CampaignResult CoordinatorService::serve() {
+  const auto start = std::chrono::steady_clock::now();
+  server_.serve();
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return coordinator_.result();
+}
+
+void CoordinatorService::write_bench_report(
+    const std::vector<std::string>& argv) const {
+  const campaign::CampaignResult result = coordinator_.result();
+  const double items = static_cast<double>(result.cells_run);
+
+  std::vector<std::string> args;
+  args.reserve(argv.size());
+  for (const std::string& arg : argv) {
+    args.push_back('"' + io::json::escape(arg) + '"');
+  }
+
+  io::json::Object doc;
+  doc.add_string("name", "fleet");
+  doc.add_raw("argv", io::json::array(args));
+  doc.add_int("hardware_threads",
+              static_cast<long long>(std::thread::hardware_concurrency()));
+  doc.add_number("wall_seconds", wall_seconds_);
+  doc.add_number("items", items);
+  doc.add_string("items_unit", "cells");
+  doc.add_number("items_per_sec",
+                 wall_seconds_ > 0.0 ? items / wall_seconds_ : 0.0);
+  doc.add_raw("notes",
+              io::json::Object{}
+                  .add_int("cells_total",
+                           static_cast<long long>(result.cells_total))
+                  .add_int("cache_hits",
+                           static_cast<long long>(result.cache_hits))
+                  .add_bool("complete", result.complete)
+                  .str());
+  doc.add_raw("metrics", obs::Registry::global().snapshot_json());
+
+  const char* dir = std::getenv("FTMC_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                      : std::string{}) +
+      "BENCH_fleet.json";
+  campaign::write_file_atomic(path, doc.str() + "\n");
+}
+
+}  // namespace ftmc::fleet

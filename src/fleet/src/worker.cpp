@@ -1,0 +1,201 @@
+#include "ftmc/fleet/worker.hpp"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ftmc/campaign/runner.hpp"
+#include "ftmc/campaign/spec.hpp"
+#include "ftmc/exec/parallel.hpp"
+#include "ftmc/fleet/protocol.hpp"
+#include "ftmc/io/json.hpp"
+#include "ftmc/net/socket.hpp"
+#include "ftmc/obs/registry.hpp"
+
+namespace ftmc::fleet {
+
+namespace {
+
+struct WorkerMetrics {
+  obs::Counter cells_computed;
+  obs::Counter leases_taken;
+  obs::Counter reconnects;
+
+  static WorkerMetrics global() {
+    obs::Registry& reg = obs::Registry::global();
+    return {reg.counter("fleet.worker_cells_computed"),
+            reg.counter("fleet.worker_leases_taken"),
+            reg.counter("fleet.worker_reconnects")};
+  }
+};
+
+/// One coordinator session: a connected client that has said hello and
+/// holds the expanded cell grid.
+struct Session {
+  std::unique_ptr<net::FramedClient> client;
+  std::vector<campaign::CellSpec> cells;
+};
+
+[[nodiscard]] io::json::Value call_parsed(net::FramedClient& client,
+                                          std::string_view request) {
+  const std::string response = client.call(request);
+  io::json::Value doc = io::json::parse(response);
+  if (doc.at("type").as_string() == "error") {
+    throw std::runtime_error("fleet worker: coordinator error: " +
+                             doc.at("error").as_string());
+  }
+  return doc;
+}
+
+[[nodiscard]] Session open_session(const WorkerOptions& options) {
+  net::FramedClientOptions client_options;
+  client_options.connect_timeout_ms = options.connect_timeout_ms;
+  client_options.read_timeout_ms = options.read_timeout_ms;
+  Session session;
+  session.client = std::make_unique<net::FramedClient>(
+      options.host, options.port, client_options);
+  const io::json::Value welcome =
+      call_parsed(*session.client, hello_to_json(options.name));
+  const std::string& protocol = welcome.at("protocol").as_string();
+  if (protocol != kProtocolVersion) {
+    throw std::runtime_error("fleet worker: protocol mismatch: " +
+                             protocol);
+  }
+  // The spec travels canonically; expanding it locally provably yields
+  // the coordinator's grid, so leases can be plain index lists.
+  session.cells =
+      campaign::expand_cells(campaign::parse_spec(welcome.at("spec")));
+  const std::size_t total = welcome.at("cells_total").as_uint64();
+  if (total != session.cells.size()) {
+    throw std::runtime_error(
+        "fleet worker: grid size skew: coordinator has " +
+        std::to_string(total) + " cells, local expansion has " +
+        std::to_string(session.cells.size()));
+  }
+  return session;
+}
+
+/// Computes one lease on the local pool. Deterministic per cell; the
+/// lease's record order follows its index order.
+[[nodiscard]] std::vector<ResultRecord> compute_lease(
+    const Session& session, const std::vector<std::size_t>& indices,
+    const WorkerOptions& options) {
+  std::vector<ResultRecord> records(indices.size());
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.chunk_size = 1;
+  par.phase = "fleet.lease";
+  exec::parallel_for(
+      indices.size(), par, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const campaign::CellSpec& cell = session.cells.at(indices[i]);
+          const campaign::CellCounts counts = campaign::run_cell(cell);
+          records[i] = ResultRecord{
+              indices[i],
+              campaign::CellRecord{campaign::cell_hash(cell),
+                                   counts.accept_without,
+                                   counts.accept_with}};
+          if (options.throttle_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.throttle_ms));
+          }
+        }
+      });
+  return records;
+}
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  WorkerMetrics metrics = WorkerMetrics::global();
+  WorkerReport report;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_seconds = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+
+  Session session;
+  int attempts_left = options.reconnect_attempts;
+  // (Re)opens the session, consuming one reconnect attempt per failure.
+  // Throws the last error once the budget is spent.
+  const auto ensure_session = [&] {
+    while (!session.client) {
+      try {
+        session = open_session(options);
+      } catch (const std::exception&) {
+        if (attempts_left-- <= 0) throw;
+        metrics.reconnects.inc();
+        ++report.reconnects;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.reconnect_backoff_ms));
+      }
+    }
+  };
+
+  bool done = false;
+  while (!done) {
+    ensure_session();
+    try {
+      const io::json::Value grant =
+          call_parsed(*session.client, lease_to_json(options.name));
+      const std::string& type = grant.at("type").as_string();
+      if (type == "done") {
+        done = true;
+      } else if (type == "drained") {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.poll_ms));
+      } else if (type == "lease") {
+        metrics.leases_taken.inc();
+        ++report.leases;
+        std::vector<std::size_t> indices;
+        indices.reserve(grant.at("indices").items().size());
+        for (const io::json::Value& v : grant.at("indices").items()) {
+          indices.push_back(static_cast<std::size_t>(v.as_uint64()));
+        }
+        const std::vector<ResultRecord> records =
+            compute_lease(session, indices, options);
+        const io::json::Value ack = call_parsed(
+            *session.client,
+            result_to_json(options.name,
+                           grant.at("lease_id").as_uint64(), records));
+        metrics.cells_computed.inc(records.size());
+        report.cells_computed += records.size();
+        if (ack.at("complete").as_bool()) done = true;
+      } else {
+        throw std::runtime_error(
+            "fleet worker: unexpected response type \"" + type + "\"");
+      }
+    } catch (const std::exception&) {
+      // Timeout, EOF, frame violation or error answer: drop the session
+      // and retry within the reconnect budget. Any undelivered lease
+      // expires on the coordinator and is reissued; a persistent
+      // failure surfaces once the budget is spent.
+      if (attempts_left-- <= 0) throw;
+      metrics.reconnects.inc();
+      ++report.reconnects;
+      session.client.reset();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.reconnect_backoff_ms));
+    }
+  }
+
+  report.wall_seconds = wall_seconds();
+  // Best-effort farewell (telemetry): the campaign is already complete,
+  // so a coordinator that has since shut down is not an error.
+  try {
+    obs::Registry& reg = obs::Registry::global();
+    (void)call_parsed(*session.client,
+                      bye_to_json(options.name, report.cells_computed,
+                                  report.wall_seconds,
+                                  reg.is_enabled() ? reg.snapshot_json()
+                                                   : std::string{}));
+  } catch (const std::exception&) {
+  }
+  return report;
+}
+
+}  // namespace ftmc::fleet

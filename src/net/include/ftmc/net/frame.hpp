@@ -1,0 +1,75 @@
+/// \file frame.hpp
+/// \brief Length-prefixed framing for every framed byte stream in the
+///        repo — the ftmc_serve wire protocol and the ftmc::fleet
+///        coordinator/worker protocol share this one implementation.
+///
+/// A frame is a 4-byte big-endian unsigned payload length followed by
+/// exactly that many bytes of UTF-8 JSON. Framing and JSON are
+/// deliberately separate layers: the decoder never looks inside a
+/// payload, so a malformed request body poisons one request, while a
+/// malformed *frame* (an oversized or absurd length) poisons the stream
+/// and the connection is closed after an error response.
+///
+/// Factored out of ftmc::serve (which re-exports these names for source
+/// compatibility) so that serve and fleet cannot drift apart on the
+/// framing rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ftmc::net {
+
+/// Default ceiling on one frame's payload (16 MiB). A four-byte length
+/// field can claim up to 4 GiB; accepting that from the network would
+/// let one client commit the server to a 4 GiB allocation, so lengths
+/// above the configured maximum are a framing error.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Thrown by FrameDecoder on an unrecoverable stream error (oversized
+/// length claim). The message names the claimed and allowed sizes.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Renders one frame: 4-byte big-endian length + payload. Throws
+/// FrameError if the payload exceeds what the length field can carry.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder over an arbitrary-chunked byte stream
+/// (bytes arrive from a socket in whatever pieces TCP delivers).
+///
+///   decoder.feed(bytes);
+///   while (auto payload = decoder.next()) handle(*payload);
+///
+/// next() returns std::nullopt when the buffered bytes end mid-frame;
+/// feeding more bytes resumes exactly where the stream left off. Throws
+/// FrameError once a length field exceeds the configured maximum —
+/// after that the stream is unusable and the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Next complete payload, or nullopt if more bytes are needed.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True iff no partial frame is buffered — the state a well-behaved
+  /// peer leaves the stream in before closing it. A false at EOF means
+  /// the peer truncated a frame mid-flight.
+  [[nodiscard]] bool idle() const noexcept { return buffer_.empty(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace ftmc::net

@@ -1,8 +1,8 @@
-#include "ftmc/serve/protocol.hpp"
+#include "ftmc/net/frame.hpp"
 
 #include <limits>
 
-namespace ftmc::serve {
+namespace ftmc::net {
 
 std::string encode_frame(std::string_view payload) {
   if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
@@ -39,4 +39,4 @@ std::optional<std::string> FrameDecoder::next() {
   return payload;
 }
 
-}  // namespace ftmc::serve
+}  // namespace ftmc::net

@@ -1,0 +1,404 @@
+#include "ftmc/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "ftmc/io/json.hpp"
+#include "ftmc/obs/registry.hpp"
+
+namespace ftmc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// poll() for `events` with EINTR retry against an absolute deadline
+/// (deadline < 0 = no deadline). Returns the ready revents, or 0 on
+/// timeout.
+[[nodiscard]] short poll_fd(int fd, short events, std::int64_t deadline_ms) {
+  while (true) {
+    int wait = -1;
+    if (deadline_ms >= 0) {
+      const std::int64_t left = deadline_ms - now_ms();
+      if (left <= 0) return 0;
+      wait = static_cast<int>(left);
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, wait);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc == 0) return 0;
+    return p.revents;
+  }
+}
+
+struct TransportMetrics {
+  obs::Counter connections_total;
+  obs::Counter frames_total;
+  obs::Counter protocol_errors;
+  obs::Counter truncated_streams;
+  obs::Counter bytes_in;
+  obs::Counter bytes_out;
+
+  static TransportMetrics with_prefix(const std::string& prefix) {
+    obs::Registry& reg = obs::Registry::global();
+    return {reg.counter(prefix + ".connections_total"),
+            reg.counter(prefix + ".frames_total"),
+            reg.counter(prefix + ".protocol_errors"),
+            reg.counter(prefix + ".truncated_streams"),
+            reg.counter(prefix + ".bytes_in"),
+            reg.counter(prefix + ".bytes_out")};
+  }
+};
+
+}  // namespace
+
+bool send_all(int fd, std::string_view bytes) noexcept {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  const std::int64_t deadline =
+      timeout_ms < 0 ? -1 : now_ms() + timeout_ms;
+  return poll_fd(fd, POLLIN, deadline) != 0;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad host address \"" + host + "\"");
+  }
+
+  // Non-blocking connect so the deadline holds even against a peer that
+  // never answers the SYN; the fd goes back to blocking afterwards.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fcntl");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc != 0) {
+    const std::int64_t deadline =
+        timeout_ms < 0 ? -1 : now_ms() + timeout_ms;
+    short revents = 0;
+    try {
+      revents = poll_fd(fd, POLLOUT, deadline);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    if (revents == 0) {
+      ::close(fd);
+      throw TimeoutError("connect " + host + ":" + std::to_string(port) +
+                         " timed out after " + std::to_string(timeout_ms) +
+                         " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fcntl");
+  }
+  return fd;
+}
+
+FramedClient::FramedClient(const std::string& host, std::uint16_t port,
+                           FramedClientOptions options)
+    : read_timeout_ms_(options.read_timeout_ms),
+      decoder_(options.max_frame_bytes) {
+  fd_ = connect_tcp(host, port, options.connect_timeout_ms);
+}
+
+FramedClient::~FramedClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FramedClient::send_raw(std::string_view bytes) {
+  if (!send_all(fd_, bytes)) throw_errno("send");
+}
+
+std::string FramedClient::read_response() {
+  char buffer[64 * 1024];
+  const std::int64_t deadline =
+      read_timeout_ms_ < 0 ? -1 : now_ms() + read_timeout_ms_;
+  while (true) {
+    if (auto payload = decoder_.next()) return *payload;
+    if (poll_fd(fd_, POLLIN, deadline) == 0) {
+      throw TimeoutError("response timed out after " +
+                         std::to_string(read_timeout_ms_) + " ms");
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      throw std::runtime_error(
+          "connection closed before a complete response frame");
+    }
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+std::string FramedClient::call(std::string_view payload) {
+  send_raw(encode_frame(payload));
+  return read_response();
+}
+
+FramedServer::FramedServer(Handler handler, FramedServerOptions options,
+                           StopPredicate should_stop)
+    : handler_(std::move(handler)),
+      options_(std::move(options)),
+      should_stop_(std::move(should_stop)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad bind address \"" + options_.bind_address +
+                             "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + options_.bind_address + ":" +
+                std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+FramedServer::~FramedServer() {
+  stop();
+  reap_connections(/*join_all=*/true);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool FramedServer::stop_requested() {
+  if (stopping_.load(std::memory_order_acquire)) return true;
+  if (should_stop_ && should_stop_()) {
+    stop();
+    return true;
+  }
+  return false;
+}
+
+void FramedServer::reap_connections(bool join_all) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (join_all) {
+    // Wake handlers blocked in recv() on idle connections before
+    // joining them — a stopping daemon must not wait for clients to
+    // hang up. The fd stays valid until the join below: only this
+    // reaper closes it.
+    for (Connection& conn : connections_) {
+      if (!conn.done->load(std::memory_order_acquire)) {
+        ::shutdown(conn.fd, SHUT_RDWR);
+      }
+    }
+  }
+  // Compact into a fresh vector: move-*assigning* over a still-joinable
+  // std::thread (e.g. a slot onto itself) would terminate().
+  std::vector<Connection> alive;
+  for (Connection& conn : connections_) {
+    if (join_all || conn.done->load(std::memory_order_acquire)) {
+      if (conn.thread.joinable()) conn.thread.join();
+      ::close(conn.fd);
+    } else {
+      alive.push_back(std::move(conn));
+    }
+  }
+  connections_ = std::move(alive);
+}
+
+void FramedServer::stop() noexcept {
+  // shutdown() (not close) wakes a blocked accept() without freeing the
+  // fd another thread may still reference, and is async-signal-safe —
+  // daemon SIGINT/SIGTERM handlers call this directly.
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void FramedServer::serve() {
+  while (!stop_requested()) {
+    // Poll-then-accept so the stop predicate is evaluated even when no
+    // client ever connects (a completed fleet campaign must not wait
+    // for one more connection to notice it is done).
+    const short revents =
+        poll_fd(listen_fd_, POLLIN, now_ms() + options_.accept_poll_ms);
+    if (revents == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or unrecoverable
+    }
+    reap_connections(/*join_all=*/false);
+    Connection conn;
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    conn.fd = fd;
+    auto done = conn.done;
+    conn.thread = std::thread([this, fd, done] {
+      handle_connection(fd, *done);
+    });
+    const std::lock_guard<std::mutex> lock(mu_);
+    connections_.push_back(std::move(conn));
+  }
+  reap_connections(/*join_all=*/true);
+}
+
+void FramedServer::handle_connection(int fd, std::atomic<bool>& done) {
+  TransportMetrics metrics =
+      TransportMetrics::with_prefix(options_.metrics_prefix);
+  metrics.connections_total.inc();
+  FrameDecoder decoder(options_.max_frame_bytes);
+  char buffer[64 * 1024];
+  bool close_now = false;
+  // Deadline armed only while a frame is partially buffered: an idle
+  // peer may wait forever, a stalled one mid-frame may not.
+  std::int64_t frame_deadline = -1;
+  while (!close_now) {
+    const short revents =
+        poll_fd(fd, POLLIN, now_ms() + options_.idle_poll_ms);
+    if (revents == 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (frame_deadline >= 0 && now_ms() >= frame_deadline) {
+        metrics.truncated_streams.inc();
+        break;  // peer stalled mid-frame: drop it, never wedge
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {  // EOF
+      if (!decoder.idle()) metrics.truncated_streams.inc();
+      break;
+    }
+    metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    while (true) {
+      std::optional<std::string> payload;
+      try {
+        payload = decoder.next();
+      } catch (const FrameError& e) {
+        // The stream is unrecoverable: answer once, then hang up.
+        metrics.protocol_errors.inc();
+        const std::string err = encode_frame(
+            io::json::Object{}
+                .add_string("type", "error")
+                .add_string("error", e.what())
+                .str());
+        if (send_all(fd, err)) {
+          metrics.bytes_out.inc(err.size());
+        }
+        close_now = true;
+        break;
+      }
+      if (!payload) break;
+      metrics.frames_total.inc();
+      const std::string response = encode_frame(handler_(*payload));
+      if (!send_all(fd, response)) {
+        close_now = true;
+        break;
+      }
+      metrics.bytes_out.inc(response.size());
+      if (stop_requested()) {
+        // The response reached the socket; now take the listener down.
+        close_now = true;
+        break;
+      }
+    }
+    frame_deadline = (!close_now && !decoder.idle() &&
+                      options_.mid_frame_timeout_ms > 0)
+                         ? now_ms() + options_.mid_frame_timeout_ms
+                         : -1;
+  }
+  // FIN the peer now so it sees EOF promptly; the *close* stays with
+  // the reaper, which may still need the fd valid to shutdown() it.
+  ::shutdown(fd, SHUT_RDWR);
+  done.store(true, std::memory_order_release);
+}
+
+}  // namespace ftmc::net

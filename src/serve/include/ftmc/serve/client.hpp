@@ -1,46 +1,58 @@
 /// \file client.hpp
 /// \brief Minimal framed TCP client for ftmc_serve — one connection,
-///        blocking call() round trips.
+///        blocking call() round trips, built on net::FramedClient.
 ///
 /// Exists so the load generator, the tests and ad-hoc tooling share one
 /// correct implementation of the framing handshake instead of three
-/// copies of raw socket code. POSIX-only, like tcp.hpp.
+/// copies of raw socket code. Connects with a deadline (net's connect
+/// timeout); reads wait forever by default, because analyze batches are
+/// legitimately unbounded. POSIX-only, like tcp.hpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "ftmc/net/socket.hpp"
 #include "ftmc/serve/protocol.hpp"
 
 namespace ftmc::serve {
 
 /// One client connection. Methods throw std::runtime_error on socket
-/// failure and FrameError on a framing violation in the response.
+/// failure, net::TimeoutError past the connect deadline, and FrameError
+/// on a framing violation in the response.
 class Client {
  public:
   /// Connects (throws on refusal/timeout).
   Client(const std::string& host, std::uint16_t port,
-         std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
-  ~Client();
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
+         std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : impl_(host, port, make_options(max_frame_bytes)) {}
 
   /// Frames and sends one request document, blocks for one framed
   /// response, returns its payload.
-  [[nodiscard]] std::string call(std::string_view request_json);
+  [[nodiscard]] std::string call(std::string_view request_json) {
+    return impl_.call(request_json);
+  }
 
   /// Sends raw bytes as-is (no framing) — the hook the protocol tests
   /// use to inject malformed frames.
-  void send_raw(std::string_view bytes);
+  void send_raw(std::string_view bytes) { impl_.send_raw(bytes); }
 
   /// Blocks for one framed response (shared tail of call()). Throws on
   /// EOF before a complete frame.
-  [[nodiscard]] std::string read_response();
+  [[nodiscard]] std::string read_response() {
+    return impl_.read_response();
+  }
 
  private:
-  int fd_ = -1;
-  FrameDecoder decoder_;
+  [[nodiscard]] static net::FramedClientOptions make_options(
+      std::size_t max_frame_bytes) {
+    net::FramedClientOptions options;
+    options.max_frame_bytes = max_frame_bytes;
+    return options;
+  }
+
+  net::FramedClient impl_;
 };
 
 }  // namespace ftmc::serve

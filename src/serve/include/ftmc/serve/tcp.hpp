@@ -1,14 +1,13 @@
 /// \file tcp.hpp
-/// \brief Loopback/LAN TCP transport for the ftmc_serve engine.
+/// \brief Loopback/LAN TCP transport for the ftmc_serve engine — a thin
+///        veneer over net::FramedServer.
 ///
-/// One thread per connection, frames decoded incrementally
-/// (protocol.hpp), every complete payload handed to Server::handle and
-/// the response framed back. Connection policy:
+/// Connection policy (implemented by ftmc::net, see net/socket.hpp):
 ///  - a malformed *frame* (oversized length claim) answers one framed
-///    {"type":"error"} response and closes the connection — the byte
-///    stream is unrecoverable past that point;
-///  - a body truncated mid-frame at EOF is counted
-///    (serve.truncated_streams) and the connection closed;
+///    {"type":"error"} response and closes the connection;
+///  - a body truncated mid-frame at EOF — or a peer that stalls
+///    mid-frame past the timeout — is counted (serve.truncated_streams)
+///    and the connection closed;
 ///  - a {"type":"shutdown"} request stops the accept loop after the
 ///    response is written, so clients see their answer before the
 ///    listener goes away.
@@ -16,14 +15,10 @@
 /// POSIX-only (sockets); the engine itself (server.hpp) is portable.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "ftmc/net/socket.hpp"
 #include "ftmc/serve/server.hpp"
 
 namespace ftmc::serve {
@@ -42,43 +37,21 @@ struct TcpOptions {
 class TcpServer {
  public:
   TcpServer(Server& server, TcpOptions options);
-  ~TcpServer();
-  TcpServer(const TcpServer&) = delete;
-  TcpServer& operator=(const TcpServer&) = delete;
 
   /// The bound port (resolves port 0 to the kernel's choice).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return impl_.port(); }
 
   /// Runs the accept loop on the calling thread; joins all connection
   /// threads before returning. Destroy the listener only after serve()
   /// has returned (stop() is the cross-thread way to make it return).
-  void serve();
+  void serve() { impl_.serve(); }
 
   /// Stops the accept loop from another thread or a signal handler
   /// (only async-signal-safe calls). Idempotent.
-  void stop() noexcept;
+  void stop() noexcept { impl_.stop(); }
 
  private:
-  /// One connection thread plus its completion flag; finished threads
-  /// are reaped (joined) on the next accept so a long-lived daemon does
-  /// not accumulate zombie threads. The reaper owns the fd's close:
-  /// shutting it down is how a stopping listener wakes a handler
-  /// blocked in recv() on an idle connection.
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-    int fd = -1;
-  };
-
-  void handle_connection(int fd, std::atomic<bool>& done);
-  void reap_connections(bool join_all);
-
-  Server& server_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::mutex mu_;  // guards connections_
-  std::vector<Connection> connections_;
+  net::FramedServer impl_;
 };
 
 }  // namespace ftmc::serve

@@ -1,224 +1,27 @@
 #include "ftmc/serve/tcp.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
-
-#include "ftmc/io/json.hpp"
-#include "ftmc/obs/registry.hpp"
-
 namespace ftmc::serve {
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+[[nodiscard]] net::FramedServerOptions to_net_options(
+    const Server& server, const TcpOptions& options) {
+  net::FramedServerOptions net;
+  net.bind_address = options.bind_address;
+  net.port = options.port;
+  net.backlog = options.backlog;
+  net.max_frame_bytes = server.options().max_frame_bytes;
+  net.metrics_prefix = "serve";
+  return net;
 }
-
-/// write() the whole buffer; returns false once the peer is gone.
-[[nodiscard]] bool send_all(int fd, std::string_view bytes) {
-  const char* data = bytes.data();
-  std::size_t left = bytes.size();
-  while (left > 0) {
-    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-struct TcpMetrics {
-  obs::Counter connections_total;
-  obs::Counter frames_total;
-  obs::Counter protocol_errors;
-  obs::Counter truncated_streams;
-  obs::Counter bytes_in;
-  obs::Counter bytes_out;
-
-  static TcpMetrics global() {
-    obs::Registry& reg = obs::Registry::global();
-    return {reg.counter("serve.connections_total"),
-            reg.counter("serve.frames_total"),
-            reg.counter("serve.protocol_errors"),
-            reg.counter("serve.truncated_streams"),
-            reg.counter("serve.bytes_in"),
-            reg.counter("serve.bytes_out")};
-  }
-};
 
 }  // namespace
 
-TcpServer::TcpServer(Server& server, TcpOptions options) : server_(server) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bad bind address \"" + options.bind_address +
-                             "\"");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("bind " + options.bind_address + ":" +
-                std::to_string(options.port));
-  }
-  if (::listen(listen_fd_, options.backlog) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("listen");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &len) != 0) {
-    throw_errno("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
-}
-
-TcpServer::~TcpServer() {
-  stop();
-  reap_connections(/*join_all=*/true);
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-}
-
-void TcpServer::reap_connections(bool join_all) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (join_all) {
-    // Wake handlers blocked in recv() on idle connections before
-    // joining them — a stopping daemon must not wait for clients to
-    // hang up. The fd stays valid until the join below: only this
-    // reaper closes it.
-    for (Connection& conn : connections_) {
-      if (!conn.done->load(std::memory_order_acquire)) {
-        ::shutdown(conn.fd, SHUT_RDWR);
-      }
-    }
-  }
-  // Compact into a fresh vector: move-*assigning* over a still-joinable
-  // std::thread (e.g. a slot onto itself) would terminate().
-  std::vector<Connection> alive;
-  for (Connection& conn : connections_) {
-    if (join_all || conn.done->load(std::memory_order_acquire)) {
-      if (conn.thread.joinable()) conn.thread.join();
-      ::close(conn.fd);
-    } else {
-      alive.push_back(std::move(conn));
-    }
-  }
-  connections_ = std::move(alive);
-}
-
-void TcpServer::stop() noexcept {
-  // shutdown() (not close) wakes a blocked accept() without freeing the
-  // fd another thread may still reference, and is async-signal-safe —
-  // the SIGINT/SIGTERM handlers in ftmc_serve_main call this directly.
-  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
-    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-}
-
-void TcpServer::serve() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (stop()) or unrecoverable
-    }
-    reap_connections(/*join_all=*/false);
-    Connection conn;
-    conn.done = std::make_shared<std::atomic<bool>>(false);
-    conn.fd = fd;
-    auto done = conn.done;
-    conn.thread = std::thread([this, fd, done] {
-      handle_connection(fd, *done);
-    });
-    const std::lock_guard<std::mutex> lock(mu_);
-    connections_.push_back(std::move(conn));
-  }
-  reap_connections(/*join_all=*/true);
-}
-
-void TcpServer::handle_connection(int fd, std::atomic<bool>& done) {
-  TcpMetrics metrics = TcpMetrics::global();
-  metrics.connections_total.inc();
-  FrameDecoder decoder(server_.options().max_frame_bytes);
-  char buffer[64 * 1024];
-  bool close_now = false;
-  while (!close_now) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) {  // EOF
-      if (!decoder.idle()) metrics.truncated_streams.inc();
-      break;
-    }
-    metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
-    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
-    while (true) {
-      std::optional<std::string> payload;
-      try {
-        payload = decoder.next();
-      } catch (const FrameError& e) {
-        // The stream is unrecoverable: answer once, then hang up.
-        metrics.protocol_errors.inc();
-        const std::string err = encode_frame(
-            io::json::Object{}
-                .add_string("type", "error")
-                .add_string("error", e.what())
-                .str());
-        if (send_all(fd, err)) {
-          metrics.bytes_out.inc(err.size());
-        }
-        close_now = true;
-        break;
-      }
-      if (!payload) break;
-      metrics.frames_total.inc();
-      const std::string response =
-          encode_frame(server_.handle(*payload));
-      if (!send_all(fd, response)) {
-        close_now = true;
-        break;
-      }
-      metrics.bytes_out.inc(response.size());
-      if (server_.shutdown_requested()) {
-        // The response reached the socket; now take the listener down.
-        stop();
-        close_now = true;
-        break;
-      }
-    }
-  }
-  // FIN the peer now so it sees EOF promptly; the *close* stays with
-  // the reaper, which may still need the fd valid to shutdown() it.
-  ::shutdown(fd, SHUT_RDWR);
-  done.store(true, std::memory_order_release);
-}
+TcpServer::TcpServer(Server& server, TcpOptions options)
+    : impl_([&server](std::string_view payload) {
+              return server.handle(payload);
+            },
+            to_net_options(server, options),
+            [&server] { return server.shutdown_requested(); }) {}
 
 }  // namespace ftmc::serve

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Fleet crash drill (CI: the fleet job; see docs/campaigns.md).
+#
+# Proves the coordinator/worker failure model end to end with real
+# processes and a real kill -9:
+#
+#   1. control: a single-process `ftmc_campaign run` of a tiny spec;
+#   2. drill: a coordinator plus a deliberately throttled "victim"
+#      worker that is SIGKILLed mid-lease, after which two healthy
+#      workers finish the campaign — the victim's lease must expire and
+#      be reissued (asserted from fleet.* telemetry), the coordinator
+#      must exit 0, and journal.jsonl + results.json must be
+#      byte-identical to the control run;
+#   3. fleet smoke: `run --fleet 4` (four forked local workers) must
+#      reproduce the same bytes again.
+#
+# Usage: tools/fleet_drill.sh [path/to/ftmc_campaign] [workdir]
+set -euo pipefail
+
+BIN=${1:-build/bin/ftmc_campaign}
+WORK=${2:-fleet-drill}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "name": "drill",
+  "schedulers": ["edf_vd_killing"],
+  "failure_probs": [1e-3, 1e-5],
+  "utilizations": [0.3, 0.5, 0.7, 0.9],
+  "sets_per_point": 5,
+  "seed": 20140601
+}
+EOF
+
+echo "== control: single-process run"
+"$BIN" run --spec "$WORK/spec.json" --out "$WORK/control" --threads 2 \
+  > "$WORK/control.log"
+
+echo "== drill: coordinator + victim (kill -9 mid-lease) + 2 workers"
+FTMC_BENCH_DIR="$WORK" \
+  "$BIN" coordinate --spec "$WORK/spec.json" --out "$WORK/drill" \
+  --port-file "$WORK/port" --lease-cells 2 --lease-ttl-ms 2000 \
+  --linger-ms 5000 > "$WORK/coordinator.log" 2>&1 &
+COORD=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  sleep 0.1
+done
+PORT=$(cat "$WORK/port")
+test -n "$PORT"
+
+# The victim computes one cell per 300 ms, so its leases (2 cells each)
+# take >= 600 ms; the whole grid would take it >= 2.4 s. Killing it at
+# 1 s therefore provably interrupts an outstanding lease.
+"$BIN" worker --connect "127.0.0.1:$PORT" --name victim \
+  --throttle-ms 300 > "$WORK/victim.log" 2>&1 &
+VICTIM=$!
+sleep 1
+kill -9 "$VICTIM" 2> /dev/null
+
+"$BIN" worker --connect "127.0.0.1:$PORT" --name w1 \
+  > "$WORK/w1.log" 2>&1 &
+W1=$!
+"$BIN" worker --connect "127.0.0.1:$PORT" --name w2 \
+  > "$WORK/w2.log" 2>&1 &
+W2=$!
+
+wait "$COORD"
+wait "$W1"
+wait "$W2"
+
+echo "== drill: byte-identity and lease-expiry assertions"
+cmp "$WORK/control/journal.jsonl" "$WORK/drill/journal.jsonl"
+cmp "$WORK/control/results.json" "$WORK/drill/results.json"
+python3 - "$WORK/BENCH_fleet.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["metrics"]["counters"]
+expired = counters["fleet.leases_expired"]
+reissued = counters["fleet.leases_reissued"]
+accepted = counters["fleet.records_accepted"]
+assert expired >= 1, f"victim's lease must expire, got {expired}"
+assert reissued >= 1, f"expired cells must be reissued, got {reissued}"
+assert accepted == 8, f"all 8 cells must merge exactly once, got {accepted}"
+print(f"drill telemetry: expired={expired} reissued={reissued} "
+      f"accepted={accepted}")
+EOF
+
+echo "== fleet smoke: run --fleet 4"
+mkdir -p "$WORK/fleet4-bench"
+FTMC_BENCH_DIR="$WORK/fleet4-bench" "$BIN" run --spec "$WORK/spec.json" \
+  --out "$WORK/fleet4" --threads 1 --fleet 4 --lease-cells 3 \
+  > "$WORK/fleet4.log" 2>&1
+cmp "$WORK/control/journal.jsonl" "$WORK/fleet4/journal.jsonl"
+cmp "$WORK/control/results.json" "$WORK/fleet4/results.json"
+
+# The atomic-write path must leave no staging files behind anywhere.
+test -z "$(find "$WORK" -name '*.tmp')"
+
+echo "fleet drill: OK"
