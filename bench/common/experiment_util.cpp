@@ -26,6 +26,13 @@ void BenchReport::set_items(double items, std::string unit) {
   items_unit_ = std::move(unit);
 }
 
+void BenchReport::set_items_measured(double items, double measured_seconds,
+                                     std::string unit) {
+  items_ = items;
+  measured_seconds_ = measured_seconds;
+  items_unit_ = std::move(unit);
+}
+
 void BenchReport::note_number(std::string_view key, double value) {
   notes_.emplace_back(std::string(key), io::json::number(value));
 }
@@ -71,7 +78,13 @@ void BenchReport::write() {
   if (items_ >= 0.0) {
     doc.add_number("items", items_);
     doc.add_string("items_unit", items_unit_);
-    doc.add_number("items_per_sec", wall > 0.0 ? items_ / wall : 0.0);
+    const double rate_window = measured_seconds_ > 0.0 ? measured_seconds_
+                                                       : wall;
+    if (measured_seconds_ > 0.0) {
+      doc.add_number("measured_seconds", measured_seconds_);
+    }
+    doc.add_number("items_per_sec",
+                   rate_window > 0.0 ? items_ / rate_window : 0.0);
   }
   if (!notes_.empty()) {
     io::json::Object notes;

@@ -37,6 +37,13 @@ class BenchReport {
 
   /// Headline work volume; reported with the derived items-per-second.
   void set_items(double items, std::string unit = "items");
+  /// Same, but with an explicitly measured duration: items_per_sec is then
+  /// items / measured_seconds instead of items / total wall time. For
+  /// binaries where the gated workload is only one section of the process
+  /// (e.g. the micro benches, whose google-benchmark phase has a fixed
+  /// wall time that would dilute the rate).
+  void set_items_measured(double items, double measured_seconds,
+                          std::string unit = "items");
   /// Domain-specific metrics attached under "notes".
   void note_number(std::string_view key, double value);
   void note_string(std::string_view key, std::string_view value);
@@ -53,6 +60,7 @@ class BenchReport {
   std::vector<std::string> argv_;
   std::chrono::steady_clock::time_point t0_;
   double items_ = -1.0;
+  double measured_seconds_ = -1.0;  ///< < 0: rate uses total wall time
   std::string items_unit_;
   std::vector<std::pair<std::string, std::string>> notes_;  // key, raw json
   bool written_ = false;

@@ -4,7 +4,9 @@
 /// realistic f, which is why the library pays for expm1/log1p).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/experiment_util.hpp"
 #include "ftmc/core/analysis.hpp"
@@ -12,6 +14,8 @@
 #include "ftmc/core/ft_scheduler.hpp"
 #include "ftmc/fms/fms.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
+#include "ftmc/mcs/mc_dbf.hpp"
+#include "ftmc/taskgen/generator.hpp"
 
 namespace {
 
@@ -122,6 +126,50 @@ void BM_Ablation_AccuracyReport(benchmark::State& state) {
 }
 BENCHMARK(BM_Ablation_AccuracyReport);
 
+/// Fixed, deterministic analysis workload for the perf gate: FT-S
+/// end-to-end (killing + degradation) and the MC-DBF virtual-deadline
+/// tuner over Appendix-C generated task sets, timed separately from the
+/// google-benchmark phase above (whose wall time is pinned by
+/// --benchmark_min_time and would dilute the rate). One item = one task
+/// set pushed through all three analyses. Size via FTMC_BENCH_ANALYSIS_SETS.
+void run_gate_workload(ftmc::bench::BenchReport& report) {
+  int sets = 96;
+  if (const char* env = std::getenv("FTMC_BENCH_ANALYSIS_SETS")) {
+    const int n = std::atoi(env);
+    if (n > 0) sets = n;
+  }
+  constexpr double kUtilizations[] = {0.3, 0.5, 0.7, 0.9};
+
+  core::FtsConfig killing;
+  killing.adaptation.kind = mcs::AdaptationKind::kKilling;
+  killing.adaptation.os_hours = 1.0;
+  core::FtsConfig degradation;
+  degradation.adaptation.kind = mcs::AdaptationKind::kDegradation;
+  degradation.adaptation.degradation_factor = 2.0;
+  degradation.adaptation.os_hours = 1.0;
+  const mcs::McDbfOptions dbf_options;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < sets; ++i) {
+    taskgen::GeneratorParams params;
+    params.target_utilization = kUtilizations[i % 4];
+    taskgen::Rng rng(20140601u + static_cast<std::uint64_t>(i));
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    accepted += core::ft_schedule(ts, killing).success ? 1 : 0;
+    accepted += core::ft_schedule(ts, degradation).success ? 1 : 0;
+    const mcs::McTaskSet mc = core::convert_to_mc(ts, 3, 2, 2);
+    accepted += mcs::analyze_mc_dbf(mc, dbf_options).schedulable ? 1 : 0;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.set_items_measured(static_cast<double>(sets), seconds, "task sets");
+  report.note_number("gate_workload_accepted",
+                     static_cast<double>(accepted));
+  report.note_number("gate_workload_sets", static_cast<double>(sets));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,5 +178,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  run_gate_workload(report);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/experiment_util.hpp"
@@ -90,6 +91,39 @@ BENCHMARK(BM_MonteCarloCampaign)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Fixed Monte-Carlo campaign for the perf gate, timed separately from the
+/// google-benchmark phase (see micro_analysis): all hardware threads, one
+/// item = one completed mission.
+void run_gate_workload(ftmc::bench::BenchReport& report) {
+  const auto tasks =
+      sim::build_sim_tasks(fms::canonical_fms_instance(), 3, 2, 2, 0.5);
+  sim::SimConfig cfg;
+  cfg.policy = sim::PolicyKind::kEdfVd;
+  cfg.adaptation = mcs::AdaptationKind::kKilling;
+
+  sim::MonteCarloOptions opt;
+  // Sized independently of FTMC_BENCH_MISSIONS (which pins the
+  // google-benchmark campaign above): the gate needs a workload long
+  // enough to time stably even on CI smoke runs.
+  opt.missions = 50000;
+  if (const char* env = std::getenv("FTMC_BENCH_GATE_MISSIONS")) {
+    const int n = std::atoi(env);
+    if (n > 0) opt.missions = n;
+  }
+  opt.mission_length = sim::kTicksPerSecond;  // one simulated second
+  opt.seed = 20140601;
+  opt.threads = 0;  // all hardware threads
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = monte_carlo_campaign(tasks, cfg, opt);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.set_items_measured(static_cast<double>(opt.missions), seconds,
+                            "missions");
+  report.note_number("gate_workload_simulated_hours", r.simulated_hours);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,5 +133,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  run_gate_workload(report);
   return 0;
 }

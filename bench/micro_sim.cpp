@@ -5,6 +5,9 @@
 /// BM_SimEdfVdInstrumented).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+
 #include "common/experiment_util.hpp"
 #include "ftmc/core/conversion.hpp"
 #include "ftmc/fms/fms.hpp"
@@ -88,6 +91,39 @@ void BM_SimSporadicArrivals(benchmark::State& state) {
 }
 BENCHMARK(BM_SimSporadicArrivals);
 
+/// Fixed, deterministic simulator workload for the perf gate: EDF-VD with
+/// task killing over the FMS case study plus an elevated-fault variant,
+/// timed separately from the google-benchmark phase (see micro_analysis).
+/// One item = one released job. Size via FTMC_BENCH_SIM_MINUTES.
+void run_gate_workload(ftmc::bench::BenchReport& report) {
+  int minutes = 600;
+  if (const char* env = std::getenv("FTMC_BENCH_SIM_MINUTES")) {
+    const int n = std::atoi(env);
+    if (n > 0) minutes = n;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t jobs = 0;
+  for (const double fault_scale : {1.0, 1e4}) {
+    auto tasks = fms_tasks(0.5);
+    for (auto& t : tasks) t.failure_prob *= fault_scale;
+    sim::SimConfig cfg;
+    cfg.policy = sim::PolicyKind::kEdfVd;
+    cfg.adaptation = mcs::AdaptationKind::kKilling;
+    cfg.horizon = static_cast<sim::Tick>(minutes) * 60 *
+                  sim::kTicksPerSecond;
+    cfg.seed = 20140601;
+    sim::Simulator simulator(std::move(tasks), cfg);
+    const sim::SimStats s = simulator.run();
+    for (const auto& t : s.per_task) jobs += t.released;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.set_items_measured(static_cast<double>(jobs), seconds, "jobs");
+  report.note_number("gate_workload_minutes", 2.0 * minutes);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,5 +132,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  run_gate_workload(report);
   return 0;
 }

@@ -20,6 +20,12 @@
 /// bit-identical event streams when driven with the same inputs (see
 /// replay.hpp).
 ///
+/// A fifth family, fastpath-equivalence, pins the optimized analysis hot
+/// paths (merge-scan EDF demand test, memoized MC-DBF tuner, batched PFH
+/// kernels) against the retained straight-line references
+/// (ftmc::mcs::reference, ftmc::core::reference): verdicts, virtual
+/// deadlines and PFH bounds must be byte-identical, not merely close.
+///
 /// Every property is total on valid Cases: it returns kSkip when its
 /// precondition (e.g. "EDF-VD accepts") does not hold, so the shrinker
 /// can never wander into vacuous territory.
@@ -88,6 +94,8 @@ inline constexpr std::string_view kFamilySufficientVsExact =
     "sufficient-vs-exact";
 inline constexpr std::string_view kFamilyPfhMetamorphic = "pfh-metamorphic";
 inline constexpr std::string_view kFamilyTraceReplay = "trace-replay";
+inline constexpr std::string_view kFamilyFastpathEquivalence =
+    "fastpath-equivalence";
 
 /// All registered properties, stable order (the order failures are
 /// reported in is part of the deterministic contract).

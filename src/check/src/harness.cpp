@@ -43,7 +43,9 @@ std::vector<const Property*> select_properties(
   for (const std::string& f : families) {
     const bool known = f == kFamilyAnalysisVsSim ||
                        f == kFamilySufficientVsExact ||
-                       f == kFamilyPfhMetamorphic;
+                       f == kFamilyPfhMetamorphic ||
+                       f == kFamilyTraceReplay ||
+                       f == kFamilyFastpathEquivalence;
     FTMC_EXPECTS(known, "unknown property family: \"" + f + "\"");
   }
   for (const std::string& p : properties) {

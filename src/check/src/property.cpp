@@ -5,12 +5,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
 #include "ftmc/core/analysis.hpp"
+#include "ftmc/core/analysis_reference.hpp"
 #include "ftmc/core/profiles.hpp"
 #include "ftmc/mcs/edf.hpp"
+#include "ftmc/mcs/edf_reference.hpp"
+#include "ftmc/mcs/mc_dbf_reference.hpp"
 #include "ftmc/mcs/edf_vd.hpp"
 #include "ftmc/mcs/edf_vd_degradation.hpp"
 #include "ftmc/mcs/fixed_priority.hpp"
@@ -459,6 +464,174 @@ Outcome p_trigger_union_bound(const Case& c, const PropertyContext& ctx) {
   return Outcome::pass();
 }
 
+// ---------------------------------------------------------------------
+// Family 5: fastpath equivalence. The optimized hot paths must match the
+// retained straight-line references byte for byte — the contract is
+// bit-identity, so every comparison below is on the raw representation,
+// never within a tolerance.
+// ---------------------------------------------------------------------
+
+[[nodiscard]] bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+[[nodiscard]] Outcome fail_bits(const char* what, double fast,
+                                double reference) {
+  std::ostringstream msg;
+  msg.precision(17);
+  msg << what << " diverged from the straight-line reference: optimized "
+      << fast << " vs reference " << reference;
+  return Outcome::fail(msg.str());
+}
+
+Outcome compare_edf(const std::vector<mcs::SporadicTask>& view,
+                    const char* label) {
+  const mcs::EdfDbfResult fast = mcs::edf_schedulable(view);
+  const mcs::EdfDbfResult ref = mcs::reference::edf_schedulable(view);
+  if (fast.schedulable != ref.schedulable) {
+    std::ostringstream msg;
+    msg << "edf_schedulable(" << label << ") verdict diverged: optimized "
+        << fast.schedulable << " vs reference " << ref.schedulable;
+    return Outcome::fail(msg.str());
+  }
+  if (!bits_equal(fast.utilization, ref.utilization)) {
+    return fail_bits("edf_schedulable utilization", fast.utilization,
+                     ref.utilization);
+  }
+  if (!bits_equal(fast.violation_at, ref.violation_at)) {
+    return fail_bits("edf_schedulable violation_at", fast.violation_at,
+                     ref.violation_at);
+  }
+  if (!bits_equal(fast.tested_up_to, ref.tested_up_to)) {
+    return fail_bits("edf_schedulable tested_up_to", fast.tested_up_to,
+                     ref.tested_up_to);
+  }
+  return Outcome::pass();
+}
+
+Outcome p_fastpath_edf_equivalence(const Case& c,
+                                   const PropertyContext& ctx) {
+  (void)ctx;
+  if (c.ts.size() == 0) return Outcome::skip("empty set");
+  const mcs::McTaskSet mc =
+      core::convert_to_mc(c.ts, c.n_hi, c.n_lo, c.n_adapt);
+
+  // Implicit-deadline views take the D >= T shortcut; halving every
+  // deadline (exact in binary floating point) forces the merge-scan and,
+  // on overloaded sets, the early-violation exit.
+  for (const CritLevel level : {CritLevel::LO, CritLevel::HI}) {
+    std::vector<mcs::SporadicTask> view = mcs::as_sporadic(mc, level);
+    Outcome o = compare_edf(view, "level view");
+    if (o.verdict != Verdict::kPass) return o;
+    for (mcs::SporadicTask& t : view) t.deadline *= 0.5;
+    o = compare_edf(view, "constrained view");
+    if (o.verdict != Verdict::kPass) return o;
+  }
+  return compare_edf(mcs::as_sporadic_own_level(mc), "own-level view");
+}
+
+Outcome p_fastpath_mc_dbf_equivalence(const Case& c,
+                                      const PropertyContext& ctx) {
+  (void)ctx;
+  if (c.ts.size() == 0) return Outcome::skip("empty set");
+  const mcs::McTaskSet mc =
+      core::convert_to_mc(c.ts, c.n_hi, c.n_lo, c.n_adapt);
+  if (!mc.all_constrained_deadlines()) {
+    return Outcome::skip("MC-DBF needs constrained deadlines");
+  }
+
+  mcs::McDbfOptions coarse;
+  coarse.grid = 7;
+  coarse.max_refinement_steps = 8;
+  for (const mcs::McDbfOptions& options :
+       {mcs::McDbfOptions{}, coarse}) {
+    const mcs::McDbfAnalysis fast = mcs::analyze_mc_dbf(mc, options);
+    const mcs::McDbfAnalysis ref =
+        mcs::reference::analyze_mc_dbf(mc, options);
+    if (fast.schedulable != ref.schedulable ||
+        fast.refinement_steps != ref.refinement_steps) {
+      std::ostringstream msg;
+      msg << "analyze_mc_dbf(grid=" << options.grid
+          << ") diverged: optimized (" << fast.schedulable << ", "
+          << fast.refinement_steps << " steps) vs reference ("
+          << ref.schedulable << ", " << ref.refinement_steps << " steps)";
+      return Outcome::fail(msg.str());
+    }
+    if (!bits_equal(fast.uniform_factor, ref.uniform_factor)) {
+      return fail_bits("analyze_mc_dbf uniform_factor", fast.uniform_factor,
+                       ref.uniform_factor);
+    }
+    for (std::size_t i = 0; i < fast.virtual_deadlines.size(); ++i) {
+      if (!bits_equal(fast.virtual_deadlines[i],
+                      ref.virtual_deadlines[i])) {
+        return fail_bits("analyze_mc_dbf virtual deadline",
+                         fast.virtual_deadlines[i],
+                         ref.virtual_deadlines[i]);
+      }
+    }
+  }
+  return Outcome::pass();
+}
+
+Outcome p_fastpath_pfh_killing_equivalence(const Case& c,
+                                           const PropertyContext& ctx) {
+  (void)ctx;
+  if (c.ts.size() == 0) return Outcome::skip("empty set");
+  const core::PerTaskProfile n =
+      core::uniform_profile(c.ts, c.n_hi, c.n_lo);
+  const core::PerTaskProfile n_adapt =
+      core::uniform_profile(c.ts, c.n_adapt, 0);
+
+  core::KillingBoundOptions opt;
+  opt.os_hours = 1.0;
+  core::KillingBoundOptions early = opt;
+  early.early_exit_above = 1e-12;  // trips on almost every generated set
+  for (const core::KillingBoundOptions& options : {opt, early}) {
+    const double fast = core::pfh_lo_killing(c.ts, n, n_adapt, options);
+    const double ref =
+        core::reference::pfh_lo_killing(c.ts, n, n_adapt, options);
+    if (!bits_equal(fast, ref)) {
+      return fail_bits("pfh_lo_killing", fast, ref);
+    }
+  }
+  return Outcome::pass();
+}
+
+Outcome p_fastpath_pfh_survival_equivalence(const Case& c,
+                                            const PropertyContext& ctx) {
+  (void)ctx;
+  if (c.ts.size() == 0) return Outcome::skip("empty set");
+  const core::PerTaskProfile n =
+      core::uniform_profile(c.ts, c.n_hi, c.n_lo);
+  const core::PerTaskProfile n_adapt =
+      core::uniform_profile(c.ts, c.n_adapt, 0);
+
+  for (const CritLevel level : {CritLevel::HI, CritLevel::LO}) {
+    const double fast = core::pfh_plain(c.ts, n, level);
+    const double ref = core::reference::pfh_plain(c.ts, n, level);
+    if (!bits_equal(fast, ref)) return fail_bits("pfh_plain", fast, ref);
+  }
+  for (const Millis t : {3'600'000.0, 1'800'000.0, 250'000.0}) {
+    const double fast = core::survival_no_trigger(c.ts, n_adapt, t).log();
+    const double ref =
+        core::reference::survival_no_trigger(c.ts, n_adapt, t).log();
+    if (!bits_equal(fast, ref)) {
+      return fail_bits("survival_no_trigger", fast, ref);
+    }
+  }
+  const double fast = core::pfh_lo_degradation(c.ts, n, n_adapt, 1.0);
+  const double ref =
+      core::reference::pfh_lo_degradation(c.ts, n, n_adapt, 1.0);
+  if (!bits_equal(fast, ref)) {
+    return fail_bits("pfh_lo_degradation", fast, ref);
+  }
+  return Outcome::pass();
+}
+
 constexpr Property kProperties[] = {
     {"edf_vd_killing_vs_sim", kFamilyAnalysisVsSim,
      "FT-EDF-VD(killing) acceptance survives the worst-case fault "
@@ -519,6 +692,22 @@ constexpr Property kProperties[] = {
      "a flight-recorder dump (wrapped ring included) parses back and "
      "replays record-for-record against the simulator host",
      &p_blackbox_replay},
+    {"fastpath_edf_equivalence", kFamilyFastpathEquivalence,
+     "merge-scan edf_schedulable is byte-identical to the sort-based "
+     "reference on level, constrained and own-level views",
+     &p_fastpath_edf_equivalence},
+    {"fastpath_mc_dbf_equivalence", kFamilyFastpathEquivalence,
+     "memoized MC-DBF tuner returns byte-identical verdicts, virtual "
+     "deadlines and refinement counts to the un-memoized reference",
+     &p_fastpath_mc_dbf_equivalence},
+    {"fastpath_pfh_killing_equivalence", kFamilyFastpathEquivalence,
+     "batched pfh_lo_killing (SoA survival kernel) is byte-identical to "
+     "the scalar reference, early-exit path included",
+     &p_fastpath_pfh_killing_equivalence},
+    {"fastpath_pfh_survival_equivalence", kFamilyFastpathEquivalence,
+     "pfh_plain / survival_no_trigger / pfh_lo_degradation are "
+     "byte-identical to their straight-line references",
+     &p_fastpath_pfh_survival_equivalence},
 };
 
 }  // namespace

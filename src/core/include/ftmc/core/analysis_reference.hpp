@@ -1,0 +1,45 @@
+/// \file analysis_reference.hpp
+/// \brief Straight-line reference implementations of the PFH bounds.
+///
+/// These are the original, un-optimized evaluations of Lemmas 3.1-3.4 —
+/// scalar loops, per-call allocations, no batching, no workspaces. They are
+/// retained verbatim so the optimized hot paths in analysis.cpp can be
+/// differentially pinned against them: the fastpath-equivalence property
+/// family (ftmc::check) and tests/core/analysis_equivalence_test.cpp
+/// require *byte-identical* results (same doubles, bit for bit) on every
+/// input, which is what keeps campaign journals and check verdicts stable
+/// across the optimization.
+///
+/// Do not "fix" or speed these up: their value is being boring. A change
+/// to the analysis semantics must land in analysis.cpp and here in the
+/// same commit, with the equivalence suite green.
+#pragma once
+
+#include "ftmc/core/analysis.hpp"
+
+namespace ftmc::core::reference {
+
+/// Eq. (2) exactly as the original pfh_plain computed it.
+[[nodiscard]] double pfh_plain(const FtTaskSet& ts, const PerTaskProfile& n,
+                               CritLevel level,
+                               ExecAssumption exec = ExecAssumption::kFullWcet);
+
+/// Eq. (3) exactly as the original survival_no_trigger computed it.
+[[nodiscard]] prob::LogProb survival_no_trigger(
+    const FtTaskSet& ts, const PerTaskProfile& n_adapt, Millis t,
+    ExecAssumption exec = ExecAssumption::kFullWcet);
+
+/// Eq. (5) exactly as the original pfh_lo_killing computed it (per-point
+/// scalar loop over freshly allocated pi_points vectors).
+[[nodiscard]] double pfh_lo_killing(const FtTaskSet& ts,
+                                    const PerTaskProfile& n,
+                                    const PerTaskProfile& n_adapt,
+                                    const KillingBoundOptions& opt = {});
+
+/// Eq. (7) exactly as the original pfh_lo_degradation computed it.
+[[nodiscard]] double pfh_lo_degradation(
+    const FtTaskSet& ts, const PerTaskProfile& n,
+    const PerTaskProfile& n_adapt, double os_hours,
+    ExecAssumption exec = ExecAssumption::kFullWcet);
+
+}  // namespace ftmc::core::reference

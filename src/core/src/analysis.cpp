@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ftmc/prob/batch.hpp"
 #include "ftmc/prob/safe_math.hpp"
 
 namespace ftmc::core {
@@ -82,6 +83,34 @@ std::vector<Millis> pi_points(const FtTask& task, int n, Millis t,
   return points;
 }
 
+namespace {
+
+/// Reused buffers of pfh_lo_killing: the bound is evaluated millions of
+/// times per campaign (once per candidate profile per task set), and the
+/// per-call vectors were the dominant allocation source of the analysis
+/// layer. Capacities survive across calls; contents never do.
+struct KillingWorkspace {
+  // SoA layout of the HI-task terms of log R(alpha) — one contiguous
+  // stream per field so survival_accumulate_batch sweeps them cache-line
+  // by cache-line.
+  std::vector<double> hi_period;
+  std::vector<double> hi_busy;
+  std::vector<double> hi_log_per_round;
+  std::vector<double> alpha;  ///< one chunk of pi points, ascending
+  std::vector<double> log_r;  ///< per-point log R accumulators
+};
+
+KillingWorkspace& killing_workspace() {
+  thread_local KillingWorkspace ws;
+  return ws;
+}
+
+/// Points per batch: bounds workspace memory and the wasted tail work
+/// when early_exit_above triggers mid-chunk.
+constexpr std::size_t kKillingChunk = 4096;
+
+}  // namespace
+
 double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
                       const PerTaskProfile& n_adapt,
                       const KillingBoundOptions& opt) {
@@ -93,12 +122,10 @@ double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
 
   // Pre-extract the HI-task quantities needed to evaluate log R(alpha):
   // log R(alpha) = sum_j r_j(n'_j, alpha) * log(1 - f_j^{n'_j}).
-  struct HiTerm {
-    Millis period;
-    Millis busy;       // n'_j * C_j (or 0 under the footnote assumption)
-    double log_per_round;  // log(1 - f^{n'}); -inf when n' == 0 and f > 0
-  };
-  std::vector<HiTerm> hi_terms;
+  KillingWorkspace& ws = killing_workspace();
+  ws.hi_period.clear();
+  ws.hi_busy.clear();
+  ws.hi_log_per_round.clear();
   for (std::size_t j = 0; j < ts.size(); ++j) {
     if (ts.crit_of(j) != CritLevel::HI) continue;
     // The paper's algorithm keeps n' < n, but the Fig. 1/2 sweeps evaluate
@@ -113,19 +140,13 @@ double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
     const Millis busy = (opt.exec == ExecAssumption::kFullWcet)
                             ? static_cast<Millis>(n_adapt[j]) * ts[j].wcet
                             : 0.0;
-    hi_terms.push_back({ts[j].period, busy, lpr});
+    ws.hi_period.push_back(ts[j].period);
+    ws.hi_busy.push_back(busy);
+    ws.hi_log_per_round.push_back(lpr);
   }
-
-  const auto log_survival_at = [&hi_terms](Millis alpha) {
-    double log_r = 0.0;
-    for (const HiTerm& h : hi_terms) {
-      const double r =
-          std::max(std::floor((alpha - h.busy) / h.period) + 1.0, 0.0);
-      if (r <= 0.0) continue;
-      log_r += r * h.log_per_round;  // -inf propagates correctly (r > 0)
-    }
-    return log_r;
-  };
+  const std::size_t n_hi_terms = ws.hi_period.size();
+  ws.alpha.resize(kKillingChunk);
+  ws.log_r.resize(kKillingChunk);
 
   double failures = 0.0;  // expected failure count over [0, t]
   for (std::size_t i = 0; i < ts.size(); ++i) {
@@ -133,15 +154,49 @@ double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
     FTMC_EXPECTS(n[i] >= 1, "LO re-execution profile must be at least 1");
     const double p_round = prob::pow_prob(ts[i].failure_prob, n[i]);
     const double log_ok = std::log1p(-p_round);  // log(1 - f^{n})
-    for (const Millis alpha : pi_points(ts[i], n[i], t, opt.exec)) {
-      // 1 - R(alpha)*(1 - f^n), fully in the log domain: for alpha <= 0 the
-      // round completed before any possible kill, leaving just f^n.
-      const double log_r = (alpha <= 0.0) ? 0.0 : log_survival_at(alpha);
-      const double term = -std::expm1(log_r + log_ok);
-      failures += std::clamp(term, 0.0, 1.0);
-      if (opt.early_exit_above > 0.0 &&
-          failures / opt.os_hours > opt.early_exit_above) {
-        return failures / opt.os_hours;
+
+    // The pi_i(t) points of Eq. (4), generated ascending straight into the
+    // chunk buffer (m descending yields exactly pi_points' reversed order,
+    // with bit-identical values since every factor is the same expression).
+    const double r_i = rounds_impl(ts[i].period, ts[i].wcet, n[i], t,
+                                   opt.exec);
+    const Millis busy_i = (opt.exec == ExecAssumption::kFullWcet)
+                              ? static_cast<Millis>(n[i]) * ts[i].wcet
+                              : 0.0;
+    double m = r_i - 1.0;  // first ascending point; the final point is t
+    bool tail_emitted = false;
+    while (!tail_emitted) {
+      std::size_t count = 0;
+      for (; count < kKillingChunk && m >= 1.0; ++count, m -= 1.0) {
+        ws.alpha[count] =
+            t - busy_i - m * ts[i].period + ts[i].deadline;
+      }
+      if (count < kKillingChunk) {
+        ws.alpha[count++] = t;
+        tail_emitted = true;
+      }
+
+      // log R(alpha) over the whole chunk: HI terms in task order, so each
+      // point's accumulation is the same addition sequence as the scalar
+      // loop's.
+      std::fill_n(ws.log_r.begin(), count, 0.0);
+      for (std::size_t j = 0; j < n_hi_terms; ++j) {
+        prob::survival_accumulate_batch(ws.log_r.data(), ws.alpha.data(),
+                                        count, ws.hi_busy[j],
+                                        ws.hi_period[j],
+                                        ws.hi_log_per_round[j]);
+      }
+
+      for (std::size_t k = 0; k < count; ++k) {
+        // 1 - R(alpha)*(1 - f^n), fully in the log domain: for alpha <= 0
+        // the round completed before any possible kill, leaving just f^n.
+        const double log_r = (ws.alpha[k] <= 0.0) ? 0.0 : ws.log_r[k];
+        const double term = -std::expm1(log_r + log_ok);
+        failures += std::clamp(term, 0.0, 1.0);
+        if (opt.early_exit_above > 0.0 &&
+            failures / opt.os_hours > opt.early_exit_above) {
+          return failures / opt.os_hours;
+        }
       }
     }
   }

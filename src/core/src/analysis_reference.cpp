@@ -1,0 +1,140 @@
+/// Retained straight-line PFH reference implementations — see the header
+/// for why these stay un-optimized. The bodies are verbatim copies of the
+/// pre-optimization analysis.cpp.
+#include "ftmc/core/analysis_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::core::reference {
+namespace {
+
+double rounds_impl(Millis period, Millis wcet, int n, Millis t,
+                   ExecAssumption exec) {
+  FTMC_EXPECTS(n >= 0, "re-execution profile must be non-negative");
+  const Millis busy =
+      (exec == ExecAssumption::kFullWcet) ? static_cast<Millis>(n) * wcet
+                                          : 0.0;
+  const double r = std::floor((t - busy) / period) + 1.0;
+  return std::max(r, 0.0);
+}
+
+}  // namespace
+
+double pfh_plain(const FtTaskSet& ts, const PerTaskProfile& n,
+                 CritLevel level, ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(n.size() == ts.size(), "profile size must match task set");
+  const Millis t = kMillisPerHour;
+  double pfh = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != level) continue;
+    FTMC_EXPECTS(n[i] >= 1,
+                 "a task that participates in the PFH bound must execute at "
+                 "least once per round");
+    const double r = rounds_impl(ts[i].period, ts[i].wcet, n[i], t, exec);
+    pfh += r * prob::pow_prob(ts[i].failure_prob, n[i]);
+  }
+  return pfh;
+}
+
+prob::LogProb survival_no_trigger(const FtTaskSet& ts,
+                                  const PerTaskProfile& n_adapt, Millis t,
+                                  ExecAssumption exec) {
+  FTMC_EXPECTS(n_adapt.size() == ts.size(),
+               "profile size must match task set");
+  double log_r = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != CritLevel::HI) continue;
+    FTMC_EXPECTS(n_adapt[i] >= 0, "adaptation profile must be non-negative");
+    const double r = rounds_impl(ts[i].period, ts[i].wcet, n_adapt[i], t, exec);
+    if (r <= 0.0) continue;
+    const double p_trigger = prob::pow_prob(ts[i].failure_prob, n_adapt[i]);
+    if (p_trigger >= 1.0) return prob::LogProb::zero();
+    log_r += prob::log_survival(p_trigger, r);
+  }
+  return prob::LogProb::from_log(log_r);
+}
+
+double pfh_lo_killing(const FtTaskSet& ts, const PerTaskProfile& n,
+                      const PerTaskProfile& n_adapt,
+                      const KillingBoundOptions& opt) {
+  ts.validate();
+  FTMC_EXPECTS(n.size() == ts.size() && n_adapt.size() == ts.size(),
+               "profile sizes must match task set");
+  FTMC_EXPECTS(opt.os_hours > 0.0, "operation duration must be positive");
+  const Millis t = hours_to_millis(opt.os_hours);
+
+  struct HiTerm {
+    Millis period;
+    Millis busy;
+    double log_per_round;
+  };
+  std::vector<HiTerm> hi_terms;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (ts.crit_of(j) != CritLevel::HI) continue;
+    FTMC_EXPECTS(n_adapt[j] >= 0, "killing profile must be non-negative");
+    const double p_trigger = prob::pow_prob(ts[j].failure_prob, n_adapt[j]);
+    const double lpr =
+        (p_trigger >= 1.0) ? -std::numeric_limits<double>::infinity()
+                           : std::log1p(-p_trigger);
+    const Millis busy = (opt.exec == ExecAssumption::kFullWcet)
+                            ? static_cast<Millis>(n_adapt[j]) * ts[j].wcet
+                            : 0.0;
+    hi_terms.push_back({ts[j].period, busy, lpr});
+  }
+
+  const auto log_survival_at = [&hi_terms](Millis alpha) {
+    double log_r = 0.0;
+    for (const HiTerm& h : hi_terms) {
+      const double r =
+          std::max(std::floor((alpha - h.busy) / h.period) + 1.0, 0.0);
+      if (r <= 0.0) continue;
+      log_r += r * h.log_per_round;
+    }
+    return log_r;
+  };
+
+  double failures = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.crit_of(i) != CritLevel::LO) continue;
+    FTMC_EXPECTS(n[i] >= 1, "LO re-execution profile must be at least 1");
+    const double p_round = prob::pow_prob(ts[i].failure_prob, n[i]);
+    const double log_ok = std::log1p(-p_round);
+    for (const Millis alpha : pi_points(ts[i], n[i], t, opt.exec)) {
+      const double log_r = (alpha <= 0.0) ? 0.0 : log_survival_at(alpha);
+      const double term = -std::expm1(log_r + log_ok);
+      failures += std::clamp(term, 0.0, 1.0);
+      if (opt.early_exit_above > 0.0 &&
+          failures / opt.os_hours > opt.early_exit_above) {
+        return failures / opt.os_hours;
+      }
+    }
+  }
+  return failures / opt.os_hours;
+}
+
+double pfh_lo_degradation(const FtTaskSet& ts, const PerTaskProfile& n,
+                          const PerTaskProfile& n_adapt, double os_hours,
+                          ExecAssumption exec) {
+  ts.validate();
+  FTMC_EXPECTS(os_hours > 0.0, "operation duration must be positive");
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (ts.crit_of(j) == CritLevel::HI) {
+      FTMC_EXPECTS(n_adapt[j] >= 0,
+                   "degradation profile must be non-negative");
+    }
+  }
+  const Millis t = hours_to_millis(os_hours);
+  const double trigger_prob =
+      reference::survival_no_trigger(ts, n_adapt, t, exec)
+          .complement()
+          .linear();
+  return trigger_prob * omega(ts, n, 1.0, t, exec) / os_hours;
+}
+
+}  // namespace ftmc::core::reference

@@ -1,5 +1,7 @@
 #include "ftmc/core/profiles.hpp"
 
+#include <algorithm>
+
 namespace ftmc::core {
 
 std::optional<int> min_reexec_profile(const FtTaskSet& ts, CritLevel level,
@@ -10,10 +12,12 @@ std::optional<int> min_reexec_profile(const FtTaskSet& ts, CritLevel level,
   if (!reqs.constrains(dal)) return 1;
   if (ts.count(level) == 0) return 1;
 
+  // Uniform per-level profile; the other level's entries are ignored by
+  // pfh_plain, so any placeholder (here: the same n) is fine. One buffer
+  // for the whole scan — refilled, not reallocated, per candidate.
+  PerTaskProfile profile(ts.size(), 0);
   for (int n = 1; n <= kMaxProfile; ++n) {
-    // Uniform per-level profile; the other level's entries are ignored by
-    // pfh_plain, so any placeholder (here: the same n) is fine.
-    const PerTaskProfile profile(ts.size(), n);
+    std::fill(profile.begin(), profile.end(), n);
     if (reqs.satisfied(dal, pfh_plain(ts, profile, level, exec))) return n;
   }
   return std::nullopt;
@@ -22,8 +26,20 @@ std::optional<int> min_reexec_profile(const FtTaskSet& ts, CritLevel level,
 double pfh_lo_under_adaptation(const FtTaskSet& ts, int n_hi, int n_lo,
                                int n_adapt_hi, const AdaptationModel& model,
                                ExecAssumption exec, double early_exit_above) {
-  const PerTaskProfile n = uniform_profile(ts, n_hi, n_lo);
-  const PerTaskProfile n_adapt = uniform_profile(ts, n_adapt_hi, 0);
+  FTMC_EXPECTS(n_hi >= 0 && n_lo >= 0 && n_adapt_hi >= 0,
+               "profiles must be non-negative");
+  // Hot inside min_adaptation_profile's n' scan (once per candidate per
+  // task set in every fig3 cell); the two profile buffers are reused
+  // across calls instead of allocated fresh.
+  thread_local PerTaskProfile n;
+  thread_local PerTaskProfile n_adapt;
+  n.assign(ts.size(), 0);
+  n_adapt.assign(ts.size(), 0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const bool hi = ts.crit_of(i) == CritLevel::HI;
+    n[i] = hi ? n_hi : n_lo;
+    n_adapt[i] = hi ? n_adapt_hi : 0;
+  }
   switch (model.kind) {
     case mcs::AdaptationKind::kNone:
       return pfh_plain(ts, n, CritLevel::LO, exec);

@@ -1,0 +1,22 @@
+/// \file edf_reference.hpp
+/// \brief Straight-line reference of the processor-demand EDF test.
+///
+/// Verbatim retention of the original edf_schedulable: materialize every
+/// absolute-deadline point up to the horizon, sort, deduplicate, scan. The
+/// optimized implementation in edf.cpp replaces the sort with a k-way
+/// merge that stops at the first violation; this copy pins its output —
+/// the fastpath-equivalence property family and
+/// tests/mcs/mc_dbf_equivalence_test.cpp require byte-identical
+/// EdfDbfResult fields on every input. Keep it boring (see
+/// ftmc/core/analysis_reference.hpp for the full rationale).
+#pragma once
+
+#include "ftmc/mcs/edf.hpp"
+
+namespace ftmc::mcs::reference {
+
+/// The original sort-based processor-demand criterion.
+[[nodiscard]] EdfDbfResult edf_schedulable(
+    const std::vector<SporadicTask>& tasks);
+
+}  // namespace ftmc::mcs::reference

@@ -1,0 +1,23 @@
+/// \file mc_dbf_reference.hpp
+/// \brief Straight-line reference of the MC-DBF virtual-deadline tuner.
+///
+/// Verbatim retention of the original analyze_mc_dbf: fresh view vectors
+/// per candidate, no memoization between the uniform grid and the greedy
+/// refinement, every demand test through the sort-based reference EDF
+/// criterion. The optimized tuner in mc_dbf.cpp must return byte-identical
+/// McDbfAnalysis results (verdict, virtual deadlines, uniform factor,
+/// refinement step count) on every valid task set — pinned by the
+/// fastpath-equivalence property family and
+/// tests/mcs/mc_dbf_equivalence_test.cpp. Keep it boring (see
+/// ftmc/core/analysis_reference.hpp for the full rationale).
+#pragma once
+
+#include "ftmc/mcs/mc_dbf.hpp"
+
+namespace ftmc::mcs::reference {
+
+/// The original un-memoized MC-DBF analysis.
+[[nodiscard]] McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
+                                           const McDbfOptions& options = {});
+
+}  // namespace ftmc::mcs::reference

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ftmc::mcs {
 namespace {
@@ -11,6 +12,21 @@ namespace {
 /// a sufficient test; in this library such sets only arise at U ~ 1 where
 /// the answer is "unschedulable for all practical purposes" anyway).
 constexpr std::size_t kMaxCheckPoints = 4'000'000;
+
+/// Per-call scratch of edf_schedulable. The test runs up to ~100 times per
+/// MC-DBF tuning call and millions of times per campaign; the merge heads
+/// below replace a freshly allocated, fully materialized and sorted point
+/// vector per call. Capacities persist across calls, contents do not.
+struct EdfWorkspace {
+  std::vector<double> next_k;     ///< job index of each task's next point
+  std::vector<double> next_point; ///< k * T_i + D_i, or +inf when exhausted
+  std::vector<double> count;      ///< points of task i within the horizon
+};
+
+EdfWorkspace& edf_workspace() {
+  thread_local EdfWorkspace ws;
+  return ws;
+}
 
 }  // namespace
 
@@ -73,25 +89,67 @@ EdfDbfResult edf_schedulable(const std::vector<SporadicTask>& tasks) {
     horizon = std::max(d_max, 1000.0 * t_max);
   }
 
-  // Collect all absolute deadline points k*T_i + D_i <= horizon.
-  std::vector<Millis> points;
-  for (const SporadicTask& task : tasks) {
+  // The check points are the union of the per-task absolute deadlines
+  // k*T_i + D_i <= horizon. Each per-task sequence is already ascending,
+  // so instead of materializing and sorting the union (the original
+  // implementation, retained in ftmc::mcs::reference::edf_schedulable) the
+  // scan merges the sequences on the fly: ascending walk, exact-equality
+  // dedup — the visited point sequence is identical to sort+unique — and
+  // nothing past the first violation is ever generated. The demand sum at
+  // each point accumulates per task in declaration order, exactly like
+  // demand_bound(tasks, t), so every intermediate double matches the
+  // reference bit for bit.
+  EdfWorkspace& ws = edf_workspace();
+  const std::size_t n_tasks = tasks.size();
+  ws.next_k.assign(n_tasks, 0.0);
+  ws.next_point.assign(n_tasks, 0.0);
+  ws.count.assign(n_tasks, 0.0);
+  std::size_t total_points = 0;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const SporadicTask& task = tasks[i];
     const double count =
         std::max(0.0, std::floor((horizon - task.deadline) / task.period) + 1.0);
-    if (points.size() + static_cast<std::size_t>(count) > kMaxCheckPoints) {
+    if (total_points + static_cast<std::size_t>(count) > kMaxCheckPoints) {
       result.schedulable = false;  // not proven within the point budget
       result.tested_up_to = 0.0;
       return result;
     }
-    for (double k = 0.0; k < count; k += 1.0) {
-      points.push_back(k * task.period + task.deadline);
-    }
+    total_points += static_cast<std::size_t>(count);
+    ws.count[i] = count;
+    ws.next_point[i] = (count > 0.0)
+                           ? task.deadline  // k = 0
+                           : std::numeric_limits<double>::infinity();
   }
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
 
-  for (const Millis t : points) {
-    if (demand_bound(tasks, t) > t) {
+  while (true) {
+    // Next unvisited deadline point: the minimum over the merge heads.
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      t = std::min(t, ws.next_point[i]);
+    }
+    if (t == std::numeric_limits<double>::infinity()) break;
+
+    // Advance every head equal to t (exact double equality — the same
+    // collapses std::unique performed on the sorted union).
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      if (ws.next_point[i] != t) continue;
+      ws.next_k[i] += 1.0;
+      ws.next_point[i] =
+          (ws.next_k[i] < ws.count[i])
+              ? ws.next_k[i] * tasks[i].period + tasks[i].deadline
+              : std::numeric_limits<double>::infinity();
+    }
+
+    // demand_bound(tasks, t), inlined without re-validation (the entry
+    // loop above already checked every task): same per-task terms, same
+    // accumulation order.
+    double demand = 0.0;
+    for (const SporadicTask& task : tasks) {
+      if (t < task.deadline) continue;  // adds demand_bound's exact 0.0
+      const double jobs = std::floor((t - task.deadline) / task.period) + 1.0;
+      demand += jobs * task.wcet;
+    }
+    if (demand > t) {
       result.schedulable = false;
       result.violation_at = t;
       result.tested_up_to = t;

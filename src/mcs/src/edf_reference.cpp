@@ -1,0 +1,83 @@
+/// Retained straight-line EDF demand test — see the header for why this
+/// stays un-optimized. The body is a verbatim copy of the
+/// pre-optimization edf.cpp.
+#include "ftmc/mcs/edf_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftmc::mcs::reference {
+namespace {
+
+constexpr std::size_t kMaxCheckPoints = 4'000'000;
+
+}  // namespace
+
+EdfDbfResult edf_schedulable(const std::vector<SporadicTask>& tasks) {
+  EdfDbfResult result;
+  double u = 0.0;
+  Millis d_max = 0.0;
+  bool all_deadlines_ge_period = true;
+  for (const SporadicTask& task : tasks) {
+    FTMC_EXPECTS(task.period > 0.0 && task.deadline > 0.0 && task.wcet >= 0.0,
+                 "malformed sporadic task");
+    u += task.wcet / task.period;
+    d_max = std::max(d_max, task.deadline);
+    if (task.deadline < task.period) all_deadlines_ge_period = false;
+  }
+  result.utilization = u;
+
+  if (u > 1.0) {
+    result.schedulable = false;
+    return result;
+  }
+  if (all_deadlines_ge_period) {
+    result.schedulable = true;
+    return result;
+  }
+
+  Millis horizon = d_max;
+  if (u < 1.0) {
+    Millis num = 0.0;
+    for (const SporadicTask& task : tasks) {
+      num += (task.wcet / task.period) *
+             std::max(0.0, task.period - task.deadline);
+    }
+    horizon = std::max(horizon, num / (1.0 - u));
+  } else {
+    Millis t_max = 0.0;
+    for (const SporadicTask& task : tasks)
+      t_max = std::max(t_max, task.period);
+    horizon = std::max(d_max, 1000.0 * t_max);
+  }
+
+  std::vector<Millis> points;
+  for (const SporadicTask& task : tasks) {
+    const double count =
+        std::max(0.0, std::floor((horizon - task.deadline) / task.period) + 1.0);
+    if (points.size() + static_cast<std::size_t>(count) > kMaxCheckPoints) {
+      result.schedulable = false;
+      result.tested_up_to = 0.0;
+      return result;
+    }
+    for (double k = 0.0; k < count; k += 1.0) {
+      points.push_back(k * task.period + task.deadline);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (const Millis t : points) {
+    if (demand_bound(tasks, t) > t) {
+      result.schedulable = false;
+      result.violation_at = t;
+      result.tested_up_to = t;
+      return result;
+    }
+  }
+  result.schedulable = true;
+  result.tested_up_to = horizon;
+  return result;
+}
+
+}  // namespace ftmc::mcs::reference

@@ -18,32 +18,49 @@ EdfDbfResult tracked_edf(const std::vector<SporadicTask>& view) {
   return edf_schedulable(view);
 }
 
+/// Per-call scratch of analyze_mc_dbf. The tuner builds a LO and a HI
+/// task-set view for every grid candidate and every refinement step; the
+/// buffers below replace one pair of vector allocations per candidate.
+/// lo_grid_verdict additionally memoizes the phase-1 LO verdict per grid
+/// index so the phase-2 start scan never repeats an EDF evaluation the
+/// grid pass already performed (the views it would rebuild are
+/// value-identical, so the verdicts are too).
+struct McDbfWorkspace {
+  std::vector<SporadicTask> lo_view;
+  std::vector<SporadicTask> hi_view;
+  std::vector<SporadicTask> own_view;
+  std::vector<Millis> vd;
+  std::vector<signed char> lo_grid_verdict;  ///< -1 unknown, 0 no, 1 yes
+};
+
+McDbfWorkspace& mc_dbf_workspace() {
+  thread_local McDbfWorkspace ws;
+  return ws;
+}
+
 /// LO-mode view: all tasks at C(LO); HI tasks against their virtual
 /// deadlines. HI tasks with a zero LO budget (adaptation profile n' = 0)
 /// contribute no LO-mode demand and are skipped.
-std::vector<SporadicTask> lo_mode_view(const McTaskSet& ts,
-                                       const std::vector<Millis>& vd) {
-  std::vector<SporadicTask> out;
-  out.reserve(ts.size());
+void fill_lo_mode_view(std::vector<SporadicTask>& out, const McTaskSet& ts,
+                       const std::vector<Millis>& vd) {
+  out.clear();
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const McTask& t = ts[i];
     if (t.wcet_lo <= 0.0) continue;
     out.push_back({t.period, vd[i], t.wcet_lo});
   }
-  return out;
 }
 
 /// HI-mode view: HI tasks at C(HI) against the residual deadline
 /// D_i - d_i (full carry-over bound, see header).
-std::vector<SporadicTask> hi_mode_view(const McTaskSet& ts,
-                                       const std::vector<Millis>& vd) {
-  std::vector<SporadicTask> out;
+void fill_hi_mode_view(std::vector<SporadicTask>& out, const McTaskSet& ts,
+                       const std::vector<Millis>& vd) {
+  out.clear();
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const McTask& t = ts[i];
     if (t.crit != CritLevel::HI) continue;
     out.push_back({t.period, t.deadline - vd[i], t.wcet_hi});
   }
-  return out;
 }
 
 /// A residual deadline of 0 (d_i == D_i) makes the HI view ill-formed and
@@ -53,14 +70,6 @@ bool hi_view_well_formed(const std::vector<SporadicTask>& view) {
     if (t.deadline <= 0.0) return false;
   }
   return true;
-}
-
-bool both_modes_feasible(const McTaskSet& ts,
-                         const std::vector<Millis>& vd) {
-  const auto hi = hi_mode_view(ts, vd);
-  if (!hi_view_well_formed(hi)) return false;
-  return tracked_edf(lo_mode_view(ts, vd)).schedulable &&
-         tracked_edf(hi).schedulable;
 }
 
 }  // namespace
@@ -81,12 +90,18 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
   McDbfAnalysis result;
   result.virtual_deadlines.resize(ts.size());
 
+  McDbfWorkspace& ws = mc_dbf_workspace();
+
   // Phase 0: if worst-case reservations already fit under plain EDF with
   // true deadlines (HI tasks at C(HI), LO at C(LO)), no virtual deadlines
   // are needed: the runtime never depends on the mode switch, and the
   // carry-over pessimism below is avoided entirely. This also makes the
   // test dominate the no-adaptation baseline.
-  if (tracked_edf(as_sporadic_own_level(ts)).schedulable) {
+  ws.own_view.clear();
+  for (const McTask& t : ts.tasks()) {
+    ws.own_view.push_back({t.period, t.deadline, t.wcet(t.crit)});
+  }
+  if (tracked_edf(ws.own_view).schedulable) {
     result.schedulable = true;
     for (std::size_t i = 0; i < ts.size(); ++i) {
       result.virtual_deadlines[i] = ts[i].deadline;
@@ -95,25 +110,34 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
     return result;
   }
 
-  const auto assign_uniform = [&ts](double x) {
-    std::vector<Millis> vd(ts.size());
+  const auto assign_uniform = [&ts, &ws](double x) {
+    ws.vd.resize(ts.size());
     for (std::size_t i = 0; i < ts.size(); ++i) {
       const McTask& t = ts[i];
-      vd[i] = (t.crit == CritLevel::HI)
-                  ? std::max(t.wcet_lo, x * t.deadline)
-                  : t.deadline;
+      ws.vd[i] = (t.crit == CritLevel::HI)
+                     ? std::max(t.wcet_lo, x * t.deadline)
+                     : t.deadline;
     }
-    return vd;
   };
 
   // --- Phase 1: uniform scaling grid, largest factor first (maximum LO
-  // slack retained).
+  // slack retained). The LO/HI evaluation order and short-circuit are
+  // those of the reference both_modes_feasible; every LO verdict reached
+  // here is memoized for the phase-2 start scan (assign_uniform is
+  // deterministic, so the scan would rebuild value-identical views).
+  ws.lo_grid_verdict.assign(static_cast<std::size_t>(options.grid) + 1, -1);
   for (int k = options.grid; k >= 1; --k) {
     const double x = static_cast<double>(k) / (options.grid + 1);
-    const auto vd = assign_uniform(x);
-    if (both_modes_feasible(ts, vd)) {
+    assign_uniform(x);
+    fill_hi_mode_view(ws.hi_view, ts, ws.vd);
+    if (!hi_view_well_formed(ws.hi_view)) continue;
+    fill_lo_mode_view(ws.lo_view, ts, ws.vd);
+    const bool lo_ok = tracked_edf(ws.lo_view).schedulable;
+    ws.lo_grid_verdict[static_cast<std::size_t>(k)] = lo_ok ? 1 : 0;
+    if (!lo_ok) continue;
+    if (tracked_edf(ws.hi_view).schedulable) {
       result.schedulable = true;
-      result.virtual_deadlines = vd;
+      result.virtual_deadlines = ws.vd;
       result.uniform_factor = x;
       return result;
     }
@@ -122,14 +146,24 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
   // --- Phase 2: greedy per-task refinement. Start from the largest
   // uniform factor whose LO mode is feasible (there is no point refining
   // an assignment that already overloads LO mode, since refinement only
-  // tightens it further).
+  // tightens it further). Phase 1 already knows most of these verdicts;
+  // only grid points it skipped (ill-formed HI view) are evaluated here.
   std::vector<Millis> vd;
   bool have_start = false;
   for (int k = options.grid; k >= 1 && !have_start; --k) {
     const double x = static_cast<double>(k) / (options.grid + 1);
-    auto candidate = assign_uniform(x);
-    if (tracked_edf(lo_mode_view(ts, candidate)).schedulable) {
-      vd = std::move(candidate);
+    assign_uniform(x);
+    bool lo_ok;
+    const signed char memo =
+        ws.lo_grid_verdict[static_cast<std::size_t>(k)];
+    if (memo >= 0) {
+      lo_ok = memo == 1;
+    } else {
+      fill_lo_mode_view(ws.lo_view, ts, ws.vd);
+      lo_ok = tracked_edf(ws.lo_view).schedulable;
+    }
+    if (lo_ok) {
+      vd = ws.vd;
       result.uniform_factor = x;
       have_start = true;
     }
@@ -138,11 +172,12 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
 
   std::vector<bool> frozen(ts.size(), false);
   for (int step = 0; step < options.max_refinement_steps; ++step) {
-    const auto hi = hi_mode_view(ts, vd);
-    if (!hi_view_well_formed(hi)) break;
-    const EdfDbfResult hi_result = tracked_edf(hi);
+    fill_hi_mode_view(ws.hi_view, ts, vd);
+    if (!hi_view_well_formed(ws.hi_view)) break;
+    const EdfDbfResult hi_result = tracked_edf(ws.hi_view);
     if (hi_result.schedulable) {
-      if (tracked_edf(lo_mode_view(ts, vd)).schedulable) {
+      fill_lo_mode_view(ws.lo_view, ts, vd);
+      if (tracked_edf(ws.lo_view).schedulable) {
         result.schedulable = true;
         result.virtual_deadlines = vd;
         result.refinement_steps = step;
@@ -185,7 +220,8 @@ McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
     }
     const Millis previous = vd[best];
     vd[best] = new_vd;
-    if (!tracked_edf(lo_mode_view(ts, vd)).schedulable) {
+    fill_lo_mode_view(ws.lo_view, ts, vd);
+    if (!tracked_edf(ws.lo_view).schedulable) {
       vd[best] = previous;  // LO cannot afford it: freeze and move on
       frozen[best] = true;
     }

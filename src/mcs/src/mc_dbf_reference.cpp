@@ -1,0 +1,162 @@
+/// Retained straight-line MC-DBF tuner — see the header for why this stays
+/// un-optimized. The body is a verbatim copy of the pre-optimization
+/// mc_dbf.cpp (minus the obs counters: the reference exists to be compared
+/// against, not to be measured).
+#include "ftmc/mcs/mc_dbf_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftmc/mcs/edf_reference.hpp"
+
+namespace ftmc::mcs::reference {
+namespace {
+
+std::vector<SporadicTask> lo_mode_view(const McTaskSet& ts,
+                                       const std::vector<Millis>& vd) {
+  std::vector<SporadicTask> out;
+  out.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const McTask& t = ts[i];
+    if (t.wcet_lo <= 0.0) continue;
+    out.push_back({t.period, vd[i], t.wcet_lo});
+  }
+  return out;
+}
+
+std::vector<SporadicTask> hi_mode_view(const McTaskSet& ts,
+                                       const std::vector<Millis>& vd) {
+  std::vector<SporadicTask> out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const McTask& t = ts[i];
+    if (t.crit != CritLevel::HI) continue;
+    out.push_back({t.period, t.deadline - vd[i], t.wcet_hi});
+  }
+  return out;
+}
+
+bool hi_view_well_formed(const std::vector<SporadicTask>& view) {
+  for (const SporadicTask& t : view) {
+    if (t.deadline <= 0.0) return false;
+  }
+  return true;
+}
+
+bool both_modes_feasible(const McTaskSet& ts,
+                         const std::vector<Millis>& vd) {
+  const auto hi = hi_mode_view(ts, vd);
+  if (!hi_view_well_formed(hi)) return false;
+  return reference::edf_schedulable(lo_mode_view(ts, vd)).schedulable &&
+         reference::edf_schedulable(hi).schedulable;
+}
+
+}  // namespace
+
+McDbfAnalysis analyze_mc_dbf(const McTaskSet& ts,
+                             const McDbfOptions& options) {
+  ts.validate();
+  FTMC_EXPECTS(ts.all_constrained_deadlines(),
+               "MC-DBF requires constrained deadlines (D <= T)");
+  FTMC_EXPECTS(options.grid >= 1, "grid must have at least one point");
+  FTMC_EXPECTS(options.max_refinement_steps >= 0,
+               "refinement step cap must be non-negative");
+
+  McDbfAnalysis result;
+  result.virtual_deadlines.resize(ts.size());
+
+  if (reference::edf_schedulable(as_sporadic_own_level(ts)).schedulable) {
+    result.schedulable = true;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      result.virtual_deadlines[i] = ts[i].deadline;
+    }
+    result.uniform_factor = 1.0;
+    return result;
+  }
+
+  const auto assign_uniform = [&ts](double x) {
+    std::vector<Millis> vd(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const McTask& t = ts[i];
+      vd[i] = (t.crit == CritLevel::HI)
+                  ? std::max(t.wcet_lo, x * t.deadline)
+                  : t.deadline;
+    }
+    return vd;
+  };
+
+  for (int k = options.grid; k >= 1; --k) {
+    const double x = static_cast<double>(k) / (options.grid + 1);
+    const auto vd = assign_uniform(x);
+    if (both_modes_feasible(ts, vd)) {
+      result.schedulable = true;
+      result.virtual_deadlines = vd;
+      result.uniform_factor = x;
+      return result;
+    }
+  }
+
+  std::vector<Millis> vd;
+  bool have_start = false;
+  for (int k = options.grid; k >= 1 && !have_start; --k) {
+    const double x = static_cast<double>(k) / (options.grid + 1);
+    auto candidate = assign_uniform(x);
+    if (reference::edf_schedulable(lo_mode_view(ts, candidate)).schedulable) {
+      vd = std::move(candidate);
+      result.uniform_factor = x;
+      have_start = true;
+    }
+  }
+  if (!have_start) return result;
+
+  std::vector<bool> frozen(ts.size(), false);
+  for (int step = 0; step < options.max_refinement_steps; ++step) {
+    const auto hi = hi_mode_view(ts, vd);
+    if (!hi_view_well_formed(hi)) break;
+    const EdfDbfResult hi_result = reference::edf_schedulable(hi);
+    if (hi_result.schedulable) {
+      if (reference::edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+        result.schedulable = true;
+        result.virtual_deadlines = vd;
+        result.refinement_steps = step;
+        return result;
+      }
+      break;
+    }
+
+    const Millis l = hi_result.violation_at;
+    std::size_t best = ts.size();
+    Millis best_demand = 0.0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].crit != CritLevel::HI || frozen[i]) continue;
+      const SporadicTask view{ts[i].period, ts[i].deadline - vd[i],
+                              ts[i].wcet_hi};
+      if (view.deadline <= 0.0) continue;
+      const Millis demand = demand_bound(view, l);
+      if (demand > best_demand) {
+        best_demand = demand;
+        best = i;
+      }
+    }
+    if (best == ts.size()) break;
+
+    const McTask& t = ts[best];
+    const double r =
+        std::floor((l - (t.deadline - vd[best])) / t.period) + 1.0;
+    Millis new_vd = t.deadline - l + (r - 1.0) * t.period;
+    new_vd = std::nextafter(new_vd, -1.0);
+    new_vd = std::max<Millis>(new_vd, t.wcet_lo);
+    if (new_vd >= vd[best]) {
+      frozen[best] = true;
+      continue;
+    }
+    const Millis previous = vd[best];
+    vd[best] = new_vd;
+    if (!reference::edf_schedulable(lo_mode_view(ts, vd)).schedulable) {
+      vd[best] = previous;
+      frozen[best] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftmc::mcs::reference

@@ -1,0 +1,81 @@
+/// \file batch.hpp
+/// \brief Batched (SoA) variants of the safe_math.hpp scalar primitives.
+///
+/// The FT-S PFH bounds evaluate the same log-domain primitive over long
+/// contiguous vectors (per-task trigger probabilities, ~36k round-completion
+/// points per operation hour). These kernels take plain pointer+count SoA
+/// arguments so the analysis layer can stage its data once and sweep it
+/// without per-element function-call or allocation overhead.
+///
+/// Contract: every kernel is *elementwise bit-identical* to its scalar
+/// counterpart in safe_math.hpp — the same libm call sequence is applied to
+/// each element in index order and no reassociation or approximation is
+/// performed. The fastpath-equivalence property family and the golden-value
+/// tests in tests/prob/batch_kernels_test.cpp pin this contract; any future
+/// SIMD specialization must keep it (correctly rounded lanes), or the
+/// byte-identical determinism of campaign journals and check verdicts breaks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "ftmc/prob/safe_math.hpp"
+
+namespace ftmc::prob {
+
+/// out[i] = log1mexp(x[i]). Requires x[i] <= 0 (checked per element, like
+/// the scalar).
+inline void log1mexp_batch(const double* x, double* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = log1mexp(x[i]);
+}
+
+/// out[i] = log_pow(p[i], n) = n * log(p[i]) with the scalar's n == 0 and
+/// p == 0 conventions.
+inline void log_pow_batch(const double* p, long long n, double* out,
+                          std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = log_pow(p[i], n);
+}
+
+/// out[i] = log_pow(p[i], n[i]): per-element exponents (per-task
+/// re-execution profiles).
+inline void log_pow_batch(const double* p, const long long* n, double* out,
+                          std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = log_pow(p[i], n[i]);
+}
+
+/// out[i] = log_survival(p[i], r[i]) = r[i] * log1p(-p[i]).
+inline void log_survival_batch(const double* p, const double* r, double* out,
+                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = log_survival(p[i], r[i]);
+}
+
+/// out[i] = complement_from_log(log_s[i]) = -expm1(log_s[i]).
+inline void complement_from_log_batch(const double* log_s, double* out,
+                                      std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = complement_from_log(log_s[i]);
+  }
+}
+
+/// The round-counting accumulation at the heart of Eq. (5) (Lemma 3.3):
+/// for each evaluation point alpha[i],
+///   r = max(floor((alpha[i] - busy) / period) + 1, 0)
+///   log_r[i] += r * log_per_round        (skipped when r <= 0)
+/// — one HI-task term of log R(alpha) added across a whole point vector.
+/// Calling this once per HI task in task order leaves every log_r[i]
+/// bit-identical to the scalar inner loop (same additions, same order),
+/// while the loop body itself is branch-light, libm-free and
+/// auto-vectorizable.
+inline void survival_accumulate_batch(double* log_r, const double* alpha,
+                                      std::size_t count, double busy,
+                                      double period, double log_per_round) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double r = std::max(std::floor((alpha[i] - busy) / period) + 1.0,
+                              0.0);
+    if (r <= 0.0) continue;
+    log_r[i] += r * log_per_round;
+  }
+}
+
+}  // namespace ftmc::prob

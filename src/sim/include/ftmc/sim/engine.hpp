@@ -160,8 +160,16 @@ class Simulator : private rt::Host {
   // Run state (the host half: arrivals; the ready queue and mode live in
   // the core).
   std::optional<rt::Core> core_;
-  std::vector<Event> release_queue_;  // min-heap on (time, seq)
-  std::vector<Tick> next_release_;    // per task; kNever when suppressed
+  /// Pending releases, sorted descending by (time, seq): back() is the
+  /// earliest event, so pop is pop_back(). The storage is reserved for the
+  /// steady-state population at construction (one live entry per task plus
+  /// slack for mode-change duplicates), making the release path
+  /// allocation-free in steady state. Replaces a binary heap: the queue
+  /// holds ~n_tasks entries, where a sorted array beats heap sifting and
+  /// — unlike a per-task table — provably preserves the heap's exact
+  /// (time, seq) pop order, stale duplicates included.
+  std::vector<Event> release_queue_;
+  std::vector<Tick> next_release_;  // per task; kNever when suppressed
   std::uint64_t event_seq_ = 0;
   bool ran_ = false;
 

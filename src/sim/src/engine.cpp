@@ -98,6 +98,10 @@ Simulator::Simulator(std::vector<SimTask> tasks, SimConfig config)
   }
   stats_.per_task.resize(tasks_.size());
   next_release_.assign(tasks_.size(), 0);
+  // Event arena: one live release per task, plus slack for the stale
+  // duplicates mode changes leave behind. Grows only in pathological
+  // kill/re-admit churn.
+  release_queue_.reserve(tasks_.size() * 4 + 8);
 
   // The scheduling core. The DES host opts into job-pool growth: an
   // overloaded scenario may queue an unbounded ready backlog, and a
@@ -201,9 +205,14 @@ void Simulator::emit(const rt::Event& event) {
 
 void Simulator::push_release(std::uint32_t task_index, Tick at) {
   next_release_[task_index] = at;
-  release_queue_.push_back({at, ++event_seq_, task_index});
-  std::push_heap(release_queue_.begin(), release_queue_.end(),
-                 [](const Event& a, const Event& b) { return a > b; });
+  const Event ev{at, ++event_seq_, task_index};
+  // Keep the queue sorted descending by (time, seq); back() stays the
+  // earliest pending event. (time, seq) is a total order — seq is unique —
+  // so the resulting pop sequence is exactly the old heap's.
+  const auto pos =
+      std::upper_bound(release_queue_.begin(), release_queue_.end(), ev,
+                       [](const Event& a, const Event& b) { return a > b; });
+  release_queue_.insert(pos, ev);
 }
 
 void Simulator::on_mode_change(CritLevel mode, Tick now) {
@@ -257,9 +266,6 @@ SimStats Simulator::run() {
   ran_ = true;
   stats_.horizon = config_.horizon;
 
-  const auto heap_greater = [](const Event& a, const Event& b) {
-    return a > b;
-  };
   // Synchronous release at t = 0 (the critical instant), or uniformly
   // random phases when configured.
   for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
@@ -271,16 +277,15 @@ SimStats Simulator::run() {
     next_release_[i] = phase;
     release_queue_.push_back({phase, ++event_seq_, i});
   }
-  std::make_heap(release_queue_.begin(), release_queue_.end(), heap_greater);
+  std::sort(release_queue_.begin(), release_queue_.end(),
+            [](const Event& a, const Event& b) { return a > b; });
 
   Tick now = 0;
   rt::Core& core = *core_;
 
   const auto pop_due_releases = [&](Tick time) {
-    while (!release_queue_.empty() && release_queue_.front().time <= time) {
-      const Event ev = release_queue_.front();
-      std::pop_heap(release_queue_.begin(), release_queue_.end(),
-                    heap_greater);
+    while (!release_queue_.empty() && release_queue_.back().time <= time) {
+      const Event ev = release_queue_.back();
       release_queue_.pop_back();
       // Stale entries (task postponed/suppressed since scheduling).
       if (next_release_[ev.task] != ev.time) continue;
@@ -295,10 +300,8 @@ SimStats Simulator::run() {
       core.on_idle(now);
       Tick next = kNever;
       while (!release_queue_.empty()) {
-        const Event& top = release_queue_.front();
+        const Event& top = release_queue_.back();
         if (next_release_[top.task] != top.time) {
-          std::pop_heap(release_queue_.begin(), release_queue_.end(),
-                        heap_greater);
           release_queue_.pop_back();
           continue;
         }
@@ -315,7 +318,7 @@ SimStats Simulator::run() {
 
     const Tick completion = now + core.running_remaining();
     Tick next_rel = kNever;
-    if (!release_queue_.empty()) next_rel = release_queue_.front().time;
+    if (!release_queue_.empty()) next_rel = release_queue_.back().time;
     const Tick until = std::min({completion, next_rel, config_.horizon});
 
     stats_.busy_time += until - now;

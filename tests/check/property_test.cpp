@@ -12,7 +12,7 @@ namespace {
 
 TEST(PropertyRegistry, FamiliesAndNamesAreWellFormed) {
   const auto& props = all_properties();
-  ASSERT_GE(props.size(), 10u);
+  ASSERT_GE(props.size(), 16u);
   std::set<std::string> names;
   std::set<std::string> families;
   for (const Property& p : props) {
@@ -24,11 +24,12 @@ TEST(PropertyRegistry, FamiliesAndNamesAreWellFormed) {
     EXPECT_TRUE(p.family == kFamilyAnalysisVsSim ||
                 p.family == kFamilySufficientVsExact ||
                 p.family == kFamilyPfhMetamorphic ||
-                p.family == kFamilyTraceReplay)
+                p.family == kFamilyTraceReplay ||
+                p.family == kFamilyFastpathEquivalence)
         << p.name << " has unknown family " << p.family;
   }
-  // All four families are populated.
-  EXPECT_EQ(families.size(), 4u);
+  // All five families are populated.
+  EXPECT_EQ(families.size(), 5u);
   EXPECT_EQ(find_property("edf_vd_killing_vs_sim"),
             &props[0]);  // stable order: registry[0] is the EDF-VD oracle
   EXPECT_EQ(find_property("no-such-property"), nullptr);

@@ -1,0 +1,117 @@
+// Differential unit test pinning the optimized analysis fast paths to
+// their retained straight-line references (edf_reference.hpp,
+// mc_dbf_reference.hpp): across a randomized sweep of generated task
+// sets, every EdfDbfResult field and every McDbfAnalysis field must be
+// byte-identical — the optimizations (merge-scan point enumeration,
+// phase-1 -> phase-2 LO memoization, workspace-backed views) are pure
+// evaluation-strategy changes, never numeric ones. The fuzz harness
+// (fastpath-equivalence family) covers volume; this test is the
+// deterministic ctest-side pin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ftmc/core/conversion.hpp"
+#include "ftmc/mcs/edf.hpp"
+#include "ftmc/mcs/edf_reference.hpp"
+#include "ftmc/mcs/mc_dbf.hpp"
+#include "ftmc/mcs/mc_dbf_reference.hpp"
+#include "ftmc/taskgen/generator.hpp"
+
+namespace ftmc::mcs {
+namespace {
+
+[[nodiscard]] bool bit_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+void expect_same_edf(const std::vector<SporadicTask>& view,
+                     const char* what) {
+  const EdfDbfResult fast = edf_schedulable(view);
+  const EdfDbfResult ref = reference::edf_schedulable(view);
+  EXPECT_EQ(fast.schedulable, ref.schedulable) << what;
+  EXPECT_TRUE(bit_equal(fast.utilization, ref.utilization)) << what;
+  EXPECT_TRUE(bit_equal(fast.violation_at, ref.violation_at))
+      << what << ": " << fast.violation_at << " vs " << ref.violation_at;
+  EXPECT_TRUE(bit_equal(fast.tested_up_to, ref.tested_up_to))
+      << what << ": " << fast.tested_up_to << " vs " << ref.tested_up_to;
+}
+
+void expect_same_mc_dbf(const McTaskSet& mc, const McDbfOptions& options,
+                        const char* what) {
+  const McDbfAnalysis fast = analyze_mc_dbf(mc, options);
+  const McDbfAnalysis ref = reference::analyze_mc_dbf(mc, options);
+  EXPECT_EQ(fast.schedulable, ref.schedulable) << what;
+  EXPECT_EQ(fast.refinement_steps, ref.refinement_steps) << what;
+  EXPECT_TRUE(bit_equal(fast.uniform_factor, ref.uniform_factor))
+      << what << ": " << fast.uniform_factor << " vs "
+      << ref.uniform_factor;
+  ASSERT_EQ(fast.virtual_deadlines.size(), ref.virtual_deadlines.size());
+  for (std::size_t i = 0; i < fast.virtual_deadlines.size(); ++i) {
+    EXPECT_TRUE(bit_equal(fast.virtual_deadlines[i],
+                          ref.virtual_deadlines[i]))
+        << what << " vd[" << i << "]: " << fast.virtual_deadlines[i]
+        << " vs " << ref.virtual_deadlines[i];
+  }
+}
+
+TEST(FastpathEquivalence, EdfMatchesReferenceAcrossGeneratedViews) {
+  taskgen::GeneratorParams params;
+  for (int set = 0; set < 60; ++set) {
+    params.target_utilization = 0.3 + 0.01 * (set % 70);
+    taskgen::Rng rng(1000u + static_cast<std::uint64_t>(set));
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    const McTaskSet mc = core::convert_to_mc(ts, 3, 2, 2);
+
+    expect_same_edf(as_sporadic_own_level(mc), "own-level");
+    for (const CritLevel level : {CritLevel::LO, CritLevel::HI}) {
+      std::vector<SporadicTask> view = as_sporadic(mc, level);
+      expect_same_edf(view, "level view");
+      // Exact halving makes deadlines constrained, forcing the
+      // merge-scan (and its first-violation early exit on overloads).
+      for (SporadicTask& t : view) t.deadline *= 0.5;
+      expect_same_edf(view, "constrained view");
+      for (SporadicTask& t : view) t.deadline *= 0.25;
+      expect_same_edf(view, "tight view");
+    }
+  }
+}
+
+TEST(FastpathEquivalence, EdfMatchesReferenceOnHandPickedBoundaries) {
+  // Duplicate deadline points across tasks (exercises the merge's
+  // exact-equality dedup), a zero-wcet task, and a U == 1 set with a
+  // constrained deadline (the fallback-horizon branch).
+  expect_same_edf({{10.0, 5.0, 2.0}, {20.0, 5.0, 3.0}, {40.0, 25.0, 4.0}},
+                  "duplicate points");
+  expect_same_edf({{10.0, 5.0, 0.0}, {15.0, 7.5, 6.0}}, "zero wcet");
+  expect_same_edf({{10.0, 5.0, 5.0}, {20.0, 20.0, 10.0}}, "U == 1");
+  expect_same_edf({{10.0, 12.0, 4.0}, {20.0, 30.0, 8.0}},
+                  "all D >= T shortcut");
+}
+
+TEST(FastpathEquivalence, McDbfMatchesReferenceAcrossGeneratedSets) {
+  taskgen::GeneratorParams params;
+  McDbfOptions coarse;
+  coarse.grid = 7;
+  coarse.max_refinement_steps = 8;
+  for (int set = 0; set < 40; ++set) {
+    // Push into the region where phases 1 and 2 actually run (phase 0
+    // accepts everything at low utilization).
+    params.target_utilization = 0.6 + 0.01 * (set % 40);
+    taskgen::Rng rng(9000u + static_cast<std::uint64_t>(set));
+    const core::FtTaskSet ts = taskgen::generate_task_set(params, rng);
+    const McTaskSet mc = core::convert_to_mc(ts, 3, 2, 2);
+    if (!mc.all_constrained_deadlines()) continue;
+    expect_same_mc_dbf(mc, {}, "default options");
+    expect_same_mc_dbf(mc, coarse, "coarse grid");
+  }
+}
+
+}  // namespace
+}  // namespace ftmc::mcs
